@@ -1,0 +1,35 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one of the paper's tables or figures from a
+fresh simulation, asserts the qualitative *shape* the paper reports
+(who wins, by roughly what factor, where the crossover falls), and
+emits the same rows/series the paper prints.
+
+Output goes both to stdout and to ``benchmarks/out/<name>.txt`` so the
+rendered tables survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def report(name: str, lines: list[str]) -> str:
+    """Print a rendered table/series and persist it under out/."""
+    text = "\n".join(lines)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def fmt_row(columns: list[object], widths: list[int]) -> str:
+    """Fixed-width table row."""
+    cells = []
+    for value, width in zip(columns, widths):
+        text = f"{value:.3f}" if isinstance(value, float) else str(value)
+        cells.append(text.rjust(width))
+    return "  ".join(cells)

@@ -1,0 +1,95 @@
+"""Figure 11: CDF of per-iteration energy cost under the three output modes.
+
+The per-iteration energy profile is computed exactly as the paper
+describes for Figure 11 — "from the difference between energy level
+snapshots taken by watchpoints" — and rendered as a cumulative
+distribution over energy cost (% of the 47 uF store).
+
+Expected shape: the no-print and EDB-printf curves lie nearly on top of
+each other at low cost, while the UART-printf curve is shifted right by
+the print's energy.
+"""
+
+import statistics
+
+from conftest import fmt_row, report
+
+from repro import (
+    EDB,
+    IntermittentExecutor,
+    Simulator,
+    TargetDevice,
+    make_wisp_power_system,
+)
+from repro.apps import ActivityRecognitionApp
+from repro.apps.sensors import Accelerometer, I2C_ADDRESS, MotionProfile
+
+DURATION = 6.0
+
+
+def run_mode(output: str) -> list[float]:
+    sim = Simulator(seed=22)
+    power = make_wisp_power_system(sim, distance_m=1.6, fading_sigma=1.0)
+    device = TargetDevice(sim, power)
+    device.i2c.attach(I2C_ADDRESS, Accelerometer(sim, MotionProfile()))
+    edb = EDB(sim, device)
+    edb.trace("watchpoints")
+    app = ActivityRecognitionApp(output=output)
+    executor = IntermittentExecutor(sim, device, app, edb=edb.libedb())
+    executor.run(duration=DURATION)
+    capacitance = device.constants.capacitance
+    full = device.constants.full_energy
+    return [
+        100 * cost / full
+        for cost in edb.monitor.energy_between(1, 1, capacitance)
+    ]
+
+
+def _cdf(samples: list[float], grid: list[float]) -> list[float]:
+    ordered = sorted(samples)
+    out = []
+    for x in grid:
+        count = sum(1 for s in ordered if s <= x)
+        out.append(count / len(ordered))
+    return out
+
+
+def test_fig11_energy_profile(benchmark):
+    def run_all():
+        return {mode: run_mode(mode) for mode in ("none", "uart", "edb")}
+
+    profiles = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    medians = {m: statistics.median(v) for m, v in profiles.items()}
+    # Shape: EDB hugs the no-print curve; UART is shifted right.
+    assert abs(medians["edb"] - medians["none"]) < 1.0
+    assert medians["uart"] > medians["none"] + 1.0
+    for mode, samples in profiles.items():
+        assert len(samples) > 50, f"too few iterations measured for {mode}"
+
+    lo = min(min(v) for v in profiles.values())
+    hi = max(max(v) for v in profiles.values())
+    grid = [lo + (hi - lo) * i / 20 for i in range(21)]
+    cdfs = {mode: _cdf(samples, grid) for mode, samples in profiles.items()}
+
+    lines = ["energy_%   P(none)   P(uart)   P(edb)"]
+    for i, x in enumerate(grid):
+        lines.append(
+            fmt_row(
+                [
+                    round(x, 2),
+                    round(cdfs["none"][i], 3),
+                    round(cdfs["uart"][i], 3),
+                    round(cdfs["edb"][i], 3),
+                ],
+                [8, 9, 9, 8],
+            )
+        )
+    lines += [
+        "",
+        f"medians: none={medians['none']:.2f}%  uart={medians['uart']:.2f}%  "
+        f"edb={medians['edb']:.2f}%",
+        "paper (Fig. 11): EDB-printf CDF tracks the no-print CDF; "
+        "UART-printf shifted right by ~2.5 % of capacity",
+    ]
+    report("fig11_energy_profile", lines)

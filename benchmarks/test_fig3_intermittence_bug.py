@@ -1,0 +1,88 @@
+"""Figure 3: the intermittence bug — correct continuously, fatal intermittently.
+
+The linked-list test program is run twice:
+
+- on continuous power (the condition a conventional JTAG debugger
+  imposes): it completes thousands of iterations with zero faults;
+- on harvested, intermittent power: a reboot inside ``append``'s
+  vulnerable window strands the tail pointer and a subsequent
+  ``remove`` dereferences NULL and writes wild — the program crashes
+  and stays crashed across reboots.
+
+Also includes the intermittence-safe list ablation (repair-on-boot):
+same schedule, no crash.
+"""
+
+from conftest import report
+
+from repro import IntermittentExecutor, RunStatus, Simulator
+from repro.apps import LinkedListApp
+from repro.testing import make_fast_target
+
+DURATION = 10.0
+
+
+def run_all():
+    results = {}
+    # Control: continuous power.
+    sim = Simulator(seed=2)
+    device = make_fast_target(sim)
+    executor = IntermittentExecutor(
+        sim, device, LinkedListApp(update_cycles=0, max_iterations=5000)
+    )
+    results["continuous"] = executor.run_continuous(duration=5.0)
+
+    # Intermittent power: the bug manifests.
+    sim = Simulator(seed=2)
+    device = make_fast_target(sim)
+    executor = IntermittentExecutor(
+        sim, device, LinkedListApp(update_cycles=0)
+    )
+    results["intermittent"] = executor.run(duration=DURATION)
+
+    # Ablation: intermittence-safe list with reboot repair.
+    sim = Simulator(seed=2)
+    device = make_fast_target(sim)
+    app = LinkedListApp(use_safe_list=True, update_cycles=0)
+    executor = IntermittentExecutor(sim, device, app)
+    results["safe_list"] = executor.run(duration=DURATION)
+    results["safe_list_iterations"] = app.iterations_completed
+    return results
+
+
+def test_fig3_intermittence_bug(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    continuous = results["continuous"]
+    intermittent = results["intermittent"]
+    safe = results["safe_list"]
+
+    # The paper's claim, exactly: never fails continuously, fails
+    # intermittently, and the failure is a wild-pointer access.
+    assert continuous.status is RunStatus.COMPLETED
+    assert continuous.faults == []
+    assert intermittent.status is RunStatus.CRASHED
+    assert len(intermittent.faults) >= 1
+    assert intermittent.first_fault_time is not None
+    # Ablation: the safe variant survives the same schedule.
+    assert safe.status is RunStatus.TIMEOUT
+    assert safe.faults == []
+
+    report(
+        "fig3_intermittence_bug",
+        [
+            "condition     status    boots  faults  first_fault_ms",
+            f"continuous    {continuous.status.value:9s} "
+            f"{continuous.boots:5d}  {len(continuous.faults):6d}  -",
+            f"intermittent  {intermittent.status.value:9s} "
+            f"{intermittent.boots:5d}  {len(intermittent.faults):6d}  "
+            f"{intermittent.first_fault_time * 1e3:10.1f}",
+            f"safe-list     {safe.status.value:9s} {safe.boots:5d}  "
+            f"{len(safe.faults):6d}  -  "
+            f"({results['safe_list_iterations']} iterations completed)",
+            "",
+            f"first fault: {intermittent.faults[0]}",
+            "paper: wild pointer write, undefined behaviour, only under "
+            "intermittent power",
+        ],
+    )

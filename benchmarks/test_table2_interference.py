@@ -1,0 +1,66 @@
+"""Table 2: worst-case DC current over every debugger↔target connection.
+
+Reproduces the paper's methodology: a source meter applies 0 V / 2.4 V
+to each connection endpoint (2.4 V only for analog senses) and records
+min/avg/max current over repeated readings.  The bottom line — the sum
+of worst-case magnitudes — must stay under ~1 uA, i.e. a fraction of a
+percent of the target's ~0.5 mA active draw.
+
+Paper's reference rows (nA): target-driven digital taps ~+63..66 avg
+high / ~-2 low; debugger-driven comm ~0; I2C ~0.04/-0.18; capacitor
+line 0.14 avg; worst-case total 836.51 nA (0.2 % of active current).
+"""
+
+from conftest import fmt_row, report
+
+from repro.analog.connections import EDBConnectionHarness, LineState
+from repro.instruments.sourcemeter import SourceMeter
+from repro.sim import units
+from repro.sim.rng import RngHub
+
+PAPER_TOTAL_NA = 836.51
+
+
+def run_sweep():
+    harness = EDBConnectionHarness(RngHub(42))
+    meter = SourceMeter(samples_per_reading=50)
+    sweep = meter.characterise_harness(harness)
+    total = SourceMeter.worst_case_total(sweep)
+    return harness, sweep, total
+
+
+def test_table2_interference(benchmark):
+    harness, sweep, total = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    # Shape assertions against the paper's rows.
+    buffer_high = sweep["uart_tx"][LineState.HIGH]
+    assert 40 < buffer_high.average / units.NA < 90
+    buffer_low = sweep["uart_tx"][LineState.LOW]
+    assert -4 < buffer_low.average / units.NA < 0
+    comm = sweep["debugger_to_target_comm"][LineState.HIGH]
+    assert abs(comm.average / units.NA) < 0.1
+    i2c = sweep["i2c_scl"][LineState.HIGH]
+    assert abs(i2c.average / units.NA) < 0.5
+    # Bottom line: sub-microamp total, within 3x of the paper's number,
+    # and a negligible fraction of the 0.5 mA active draw.
+    assert PAPER_TOTAL_NA / 3 < total / units.NA < PAPER_TOTAL_NA * 3
+    assert total / (0.5 * units.MA) < 0.005
+
+    lines = ["connection                        state   min_nA    avg_nA    max_nA"]
+    for name in harness.names():
+        for state, stats in sweep[name].items():
+            lo, avg, hi = stats.as_nanoamps()
+            lines.append(
+                f"{name:32s}  {state.value:6s}"
+                + fmt_row([round(lo, 4), round(avg, 4), round(hi, 4)], [9, 9, 9])
+            )
+    lines.append("")
+    lines.append(
+        f"worst-case total: {total / units.NA:.2f} nA  "
+        f"(paper: {PAPER_TOTAL_NA} nA)"
+    )
+    lines.append(
+        f"fraction of 0.5 mA active draw: "
+        f"{100 * total / (0.5 * units.MA):.3f} %  (paper: 0.2 %)"
+    )
+    report("table2_interference", lines)

@@ -1,0 +1,105 @@
+"""Table 3: accuracy of EDB's energy save/restore mechanism.
+
+Reproduces the paper's trial procedure: arm an energy breakpoint at
+2.3 V, charge the target to 2.4 V, let the running application trip the
+breakpoint (one save/tether/restore bracket), resume; 50 trials.  The
+discrepancy dV = V_restored - V_saved is measured two ways, exactly as
+in the paper: by the external oscilloscope-equivalent (the true
+simulation state) and by EDB's own 12-bit ADC.
+
+Paper: mean dV ~54 mV (sd 16 scope / 7.8 ADC), dE ~1.25 uJ, reported
+as 4.34 % of the 47 uF store.  (The paper's three numbers are mutually
+inconsistent by ~4x — see EXPERIMENTS.md — so the asserted band is on
+dV, the directly measured quantity.)
+"""
+
+import statistics
+
+from conftest import fmt_row, report
+
+from repro import EDB, IntermittentExecutor, Simulator, TargetDevice
+from repro import make_wisp_power_system
+from repro.apps import ActivityRecognitionApp
+from repro.apps.sensors import Accelerometer, I2C_ADDRESS, MotionProfile
+
+TRIALS = 50
+
+
+def run_trials():
+    sim = Simulator(seed=11)
+    power = make_wisp_power_system(sim, distance_m=1.6)
+    device = TargetDevice(sim, power)
+    device.i2c.attach(I2C_ADDRESS, Accelerometer(sim, MotionProfile()))
+    edb = EDB(sim, device)
+    app = ActivityRecognitionApp(output="none")
+    executor = IntermittentExecutor(sim, device, app, edb=edb.libedb())
+    executor.flash()
+    records = []
+    while len(records) < TRIALS:
+        edb.break_on_energy(2.3, one_shot=True)
+        edb.charge(2.4)
+        before = len(edb.save_restore_records)
+        executor.run(duration=0.2, max_boots=3)
+        records.extend(edb.save_restore_records[before:])
+    return records[:TRIALS]
+
+
+def test_table3_save_restore(benchmark):
+    records = benchmark.pedantic(run_trials, rounds=1, iterations=1)
+    assert len(records) == TRIALS
+
+    dv_scope = [r.delta_v_true * 1e3 for r in records]
+    dv_adc = [r.delta_v_adc * 1e3 for r in records]
+    de_scope = [r.delta_e() * 1e6 for r in records]
+    de_pct = [r.delta_e_percent() for r in records]
+
+    mean_scope = statistics.mean(dv_scope)
+    sd_scope = statistics.stdev(dv_scope)
+    mean_adc = statistics.mean(dv_adc)
+    sd_adc = statistics.stdev(dv_adc)
+
+    # Shape: small positive discrepancy, tens of millivolts, with the
+    # ADC view agreeing with the scope view.
+    assert 15 < mean_scope < 110  # paper: 54 mV
+    assert sd_scope < 40  # paper: 16 mV
+    assert abs(mean_adc - mean_scope) < 10
+    assert statistics.mean(de_pct) < 10.0  # a few percent of the store
+
+    lines = [
+        "            dV_mV          dE_uJ          dE_%*",
+        "         scope   ADC    scope   ADC    scope",
+        fmt_row(
+            [
+                "mean",
+                round(mean_scope, 1),
+                round(mean_adc, 1),
+                round(statistics.mean(de_scope), 2),
+                round(
+                    statistics.mean([r.delta_e(true_values=False) * 1e6 for r in records]),
+                    2,
+                ),
+                round(statistics.mean(de_pct), 2),
+            ],
+            [6, 6, 5, 7, 5, 8],
+        ),
+        fmt_row(
+            [
+                "s.d.",
+                round(sd_scope, 1),
+                round(sd_adc, 1),
+                round(statistics.stdev(de_scope), 2),
+                round(
+                    statistics.stdev([r.delta_e(true_values=False) * 1e6 for r in records]),
+                    2,
+                ),
+                round(statistics.stdev(de_pct), 2),
+            ],
+            [6, 6, 5, 7, 5, 8],
+        ),
+        "* percentage of the energy stored at 2.4 V on 47 uF (135 uJ)",
+        "",
+        "paper: dV mean 54 mV (sd 16 scope / 7.8 ADC); dE reported as "
+        "1.25 uJ and 4.34 % (mutually inconsistent; see EXPERIMENTS.md)",
+        f"trials: {TRIALS}",
+    ]
+    report("table3_save_restore", lines)

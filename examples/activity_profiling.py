@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Tracing and profiling the activity-recognition app (§5.3.3).
+
+Reproduces the Figure 10 workflow: instrument the AR loop with
+watchpoints and an energy-interference-free printf, run on harvested
+power, and derive — from EDB's passive streams alone —
+
+- a live trace of intermediate classification results,
+- per-iteration time and energy profiles,
+- reference classification statistics from watchpoint counts that
+  cross-check the statistics the app keeps in non-volatile memory.
+
+Run:  python examples/activity_profiling.py
+"""
+
+import statistics
+
+from repro import (
+    EDB,
+    IntermittentExecutor,
+    Simulator,
+    TargetDevice,
+    make_wisp_power_system,
+)
+from repro.apps import ActivityRecognitionApp
+from repro.apps.sensors import (
+    Accelerometer,
+    I2C_ADDRESS,
+    MotionProfile,
+    MotionSegment,
+)
+
+
+def main() -> None:
+    sim = Simulator(seed=23)
+    power = make_wisp_power_system(sim, distance_m=1.6, fading_sigma=1.0)
+    target = TargetDevice(sim, power)
+
+    # Ground truth: alternating 0.5 s still / 0.5 s walking.
+    profile = MotionProfile(
+        [MotionSegment(False, 0.5), MotionSegment(True, 0.5)]
+    )
+    target.i2c.attach(I2C_ADDRESS, Accelerometer(sim, profile))
+
+    edb = EDB(sim, target)
+    edb.trace("watchpoints")
+    printed = []
+    edb.on_printf(printed.append)
+
+    app = ActivityRecognitionApp(output="edb")
+    executor = IntermittentExecutor(sim, target, app, edb=edb.libedb())
+    print("running 4 s of harvested-power execution...")
+    result = executor.run(duration=4.0)
+    print(f"  {result}\n")
+
+    print("=== live printf trace (first 10 lines) ===")
+    for line in printed[:10]:
+        print(f"  [printf] {line}")
+    print(f"  ... {len(printed)} lines total\n")
+
+    monitor = edb.monitor
+    capacitance = target.constants.capacitance
+    full = target.constants.full_energy
+
+    print("=== per-iteration profile from watchpoint snapshots ===")
+    costs = monitor.energy_between(1, 1, capacitance)
+    times = monitor.watchpoint_stats(1).times
+    diffs = [b - a for a, b in zip(times, times[1:]) if b - a < 0.05]
+    print(f"  iterations profiled: {len(costs)}")
+    print(f"  energy: median {100 * statistics.median(costs) / full:.2f} % "
+          f"of the 47 uF store "
+          f"(p90 {100 * sorted(costs)[int(0.9 * len(costs))] / full:.2f} %)")
+    print(f"  time:   median {statistics.median(diffs) * 1e3:.2f} ms\n")
+
+    print("=== reference statistics from watchpoint counts ===")
+    wp_stationary = monitor.watchpoint_stats(2).hits
+    wp_moving = monitor.watchpoint_stats(3).hits
+    print(f"  watchpoint 2 (stationary path): {wp_stationary}")
+    print(f"  watchpoint 3 (moving path):     {wp_moving}")
+
+    stats = ActivityRecognitionApp.read_stats(executor.api)
+    print(f"  app's NV statistics:            {stats}")
+    agreement = (
+        wp_stationary == stats["stationary"] and wp_moving == stats["moving"]
+    )
+    print(f"  external trace vs internal stats agree: {agreement}")
+    print("  (small disagreements are themselves diagnostic: they mark "
+          "iterations cut by a reboot between the counter update and "
+          "the watchpoint)")
+
+    print("\n=== iteration success rate ===")
+    rate = app.iterations_completed / max(1, app.iterations_attempted)
+    print(f"  {app.iterations_completed}/{app.iterations_attempted} "
+          f"iterations completed ({100 * rate:.0f} %)")
+    print("  paper's Table 4 working point: 82 % with EDB printf")
+
+
+if __name__ == "__main__":
+    main()

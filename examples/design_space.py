@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Design-space exploration + emulated intermittence.
+
+Two workflows that precede deployment of an energy-harvesting app:
+
+1. **Explore the power design space** (CCTS-style, §6.1): sweep
+   capacitor sizes and reader distances, and see where the application
+   would be sustained, intermittent, or dead.
+
+2. **Emulate intermittence on the bench** (§4.2): with no harvester at
+   all, use EDB's charge/discharge commands to produce a deterministic
+   charge/discharge pattern — including a recorded "weak harvest"
+   pattern — and reproduce an intermittence bug on demand.
+
+Run:  python examples/design_space.py
+"""
+
+from repro import EDB, Simulator, TargetDevice, make_wisp_power_system
+from repro.apps import LinkedListApp
+from repro.core.emulation import IntermittenceEmulator
+from repro.explore import DesignSpaceExplorer
+from repro.sim import units
+
+
+def explore() -> None:
+    print("=== design-space sweep (capacitance x reader distance) ===")
+    explorer = DesignSpaceExplorer()
+    points = explorer.sweep(
+        capacitances=[10 * units.UF, 47 * units.UF, 100 * units.UF],
+        distances=[0.8, 1.4, 2.0, 3.0],
+    )
+    print(DesignSpaceExplorer.render_table(points))
+    print()
+    intermittent = [p for p in points if not p.sustained
+                    and p.charge_time_s != float("inf")]
+    if intermittent:
+        best = max(intermittent, key=lambda p: p.duty_cycle)
+        print(f"best intermittent duty cycle: {100 * best.duty_cycle:.1f}% "
+              f"at {best.capacitance / units.UF:.0f} uF / "
+              f"{best.distance_m} m\n")
+
+
+def emulate() -> None:
+    print("=== emulated intermittence (no harvester, EDB-driven) ===")
+    sim = Simulator(seed=9)
+    power = make_wisp_power_system(sim)
+    target = TargetDevice(sim, power)
+    edb = EDB(sim, target)
+
+    app = LinkedListApp(update_cycles=0)
+    emulator = IntermittenceEmulator(edb, app, edb_linked=False)
+    # Replay a "weak harvest" pattern: per-cycle turn-on levels sweep so
+    # the brown-out point walks across the program deterministically.
+    levels = [2.4 + 0.004 * (i % 40) for i in range(120)]
+    result = emulator.run(cycles=120, turn_on_voltage=levels,
+                          stop_on_fault=True)
+    print(f"  {result}")
+    faulted = [c for c in result.cycles if c.outcome == "fault"]
+    if faulted:
+        cycle = faulted[0]
+        print(f"  the Figure 3 bug reproduced in emulated cycle "
+              f"{cycle.index} (turn-on {cycle.turn_on_voltage:.3f} V):")
+        print(f"    {cycle.detail}")
+        print("  -> the same pattern reproduces the same fault on every "
+              "run: deterministic")
+        print("     intermittence debugging, no RF environment required.")
+
+
+def main() -> None:
+    explore()
+    emulate()
+
+
+if __name__ == "__main__":
+    main()

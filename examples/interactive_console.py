@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The EDB host console (Table 1): scripted and interactive use.
+
+Drives the console through a realistic session against a simulated
+WISP running the Fibonacci app: arm breakpoints, manipulate the energy
+level, run intermittently, inspect memory, and read the watchpoint
+statistics — the exact command vocabulary of the paper's Table 1.
+
+Run:  python examples/interactive_console.py            (scripted demo)
+      python examples/interactive_console.py --repl     (interactive)
+      or simply: edb-console                             (installed entry point)
+"""
+
+import sys
+
+from repro import EDB, IntermittentExecutor, Simulator, TargetDevice
+from repro import make_wisp_power_system
+from repro.apps import FibonacciApp
+from repro.core.console import DebugConsole
+from repro.mcu.memory import FRAM_BASE
+
+
+def main() -> None:
+    sim = Simulator(seed=42)
+    power = make_wisp_power_system(sim, distance_m=1.6)
+    target = TargetDevice(sim, power)
+    edb = EDB(sim, target)
+    app = FibonacciApp(debug_build=False, capacity=200)
+    executor = IntermittentExecutor(sim, target, app, edb=edb.libedb())
+    console = DebugConsole(edb, executor=executor, echo=print)
+
+    if "--repl" in sys.argv:
+        console.repl()
+        return
+
+    script = [
+        "help",
+        "status",
+        "trace energy",
+        "trace watchpoints",
+        "charge 2.4",
+        "status",
+        "run 2.0",
+        "status",
+        # The Fibonacci list header lives at the first FRAM static.
+        f"read 0x{FRAM_BASE:04X} 6",
+        "break energy 2.0",
+        "run 0.5",
+        "wp",
+        "discharge 1.9",
+        "status",
+    ]
+    for line in script:
+        print(f"\nedb> {line}")
+        console.execute(line)
+
+
+if __name__ == "__main__":
+    main()

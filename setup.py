@@ -1,0 +1,15 @@
+"""Legacy shim so editable installs work offline (no wheel package).
+
+``pip install -e .`` on this machine has no network access, so PEP 517
+build isolation cannot fetch build requirements, and the PEP 660
+editable path needs the ``wheel`` package that is not installed.  The
+presence of this file lets pip fall back to ``setup.py develop``:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""EDB: an energy-interference-free debugger for intermittent systems.
+
+A full-stack Python reproduction of *"An Energy-interference-free
+Hardware-Software Debugger for Intermittent Energy-harvesting Systems"*
+(Colin, Harvey, Lucia, Sample — ASPLOS 2016), simulating the entire
+hardware stack the paper builds on: a WISP-class energy-harvesting
+target (MSP430-style MCU, 47 uF storage capacitor, RF harvesting), the
+EDB debugger board (analog front end, charge/discharge circuit, taps),
+and the co-designed software on both sides.
+
+Quick start::
+
+    from repro import (
+        EDB, IntermittentExecutor, Simulator, TargetDevice,
+        make_wisp_power_system,
+    )
+    from repro.apps import LinkedListApp
+
+    sim = Simulator(seed=7)
+    power = make_wisp_power_system(sim)
+    target = TargetDevice(sim, power)
+    edb = EDB(sim, target)
+    edb.trace("energy")
+
+    app = LinkedListApp(use_assert=True)
+    executor = IntermittentExecutor(sim, target, app, edb=edb.libedb())
+    result = executor.run(duration=5.0)   # seconds of simulated time
+    print(result.status)                  # assert_failed: bug caught live
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md``
+for the per-table/figure reproduction record.
+"""
+
+from repro.core.debugger import EDB
+from repro.mcu.device import PowerFailure, TargetDevice
+from repro.power.wisp import WispPowerConstants, make_wisp_power_system
+from repro.runtime.executor import IntermittentExecutor, RunResult, RunStatus
+from repro.sim.kernel import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EDB",
+    "IntermittentExecutor",
+    "PowerFailure",
+    "RunResult",
+    "RunStatus",
+    "Simulator",
+    "TargetDevice",
+    "WispPowerConstants",
+    "make_wisp_power_system",
+    "__version__",
+]

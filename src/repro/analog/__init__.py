@@ -1,0 +1,46 @@
+"""Analog/electrical models of the EDB↔target interface.
+
+Energy-interference-freedom is an *electrical* property before it is a
+software one: every wire between the debugger and the target is a
+potential path for charge to leak into or out of the target's storage
+capacitor.  This package models each connection of the paper's Figure 5
+as a stack of components with datasheet-style leakage (instrumentation
+amplifiers, keeper diodes, low-leakage digital buffers, level shifters),
+so the Table 2 interference characterisation is a real measurement over
+the component models rather than a hard-coded table.
+
+It also contains the charge/discharge circuit (GPIO + low-pass filter +
+keeper diode, resistive discharge path) and its iterative software
+control loops — the mechanism behind EDB's energy manipulation, whose
+accuracy Table 3 quantifies.
+"""
+
+from repro.analog.components import (
+    AnalogBufferTracker,
+    DigitalBufferInput,
+    InstrumentationAmplifier,
+    KeeperDiode,
+    LevelShifter,
+    ProtectionDiodes,
+)
+from repro.analog.connections import (
+    Connection,
+    EDBConnectionHarness,
+    LineState,
+)
+from repro.analog.charge_circuit import ChargeDischargeCircuit
+from repro.analog.tracking import LevelShifterBank
+
+__all__ = [
+    "LevelShifterBank",
+    "AnalogBufferTracker",
+    "ChargeDischargeCircuit",
+    "Connection",
+    "DigitalBufferInput",
+    "EDBConnectionHarness",
+    "InstrumentationAmplifier",
+    "KeeperDiode",
+    "LevelShifter",
+    "LineState",
+    "ProtectionDiodes",
+]

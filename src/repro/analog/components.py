@@ -1,0 +1,204 @@
+"""Component-level leakage models.
+
+Each component answers one question: *given the voltage the target is
+presenting on this wire, how much DC current flows between the target
+and the debugger?*  Sign convention matches the paper's Table 2:
+positive current flows **into** the target (inadvertent charging),
+negative flows **out of** the target (inadvertent loading).
+
+Magnitudes are datasheet-style figures for the parts the paper's
+prototype uses: a dual high-impedance unity-gain instrumentation
+amplifier on the analog senses, an extremely-low-leakage digital buffer
+plus level shifter on the digital taps, and a keeper diode in the
+charge path.  Each model draws per-sample jitter from a named RNG
+stream so repeated measurements scatter like real silicon.
+"""
+
+from __future__ import annotations
+
+from repro.sim import units
+from repro.sim.rng import RngHub
+
+
+class InstrumentationAmplifier:
+    """High-impedance unity-gain instrumentation amplifier input.
+
+    Used on the Vcap and Vreg sense lines.  Input bias current is the
+    only leakage path: sub-nanoamp, roughly proportional to input
+    voltage, with small part-to-part scatter.
+    """
+
+    def __init__(
+        self,
+        rng: RngHub,
+        stream: str,
+        bias_at_fullscale: float = 0.05 * units.NA,
+        fullscale: float = 2.4,
+    ) -> None:
+        self.rng = rng
+        self.stream = stream
+        self.bias_at_fullscale = bias_at_fullscale
+        self.fullscale = fullscale
+
+    def leakage_current(self, line_voltage: float) -> float:
+        """Input bias current at ``line_voltage`` (flows out of the target)."""
+        scale = line_voltage / self.fullscale
+        nominal = -self.bias_at_fullscale * scale
+        return nominal + self.rng.gauss(self.stream, 0.0, 0.01 * units.NA)
+
+
+class KeeperDiode:
+    """The charge-path keeper diode in its blocking (inactive) state.
+
+    Reverse leakage grows with reverse bias; occasional larger draws
+    reflect the low-pass filter's capacitor exchanging charge with the
+    line — which is why the paper's "Capacitor sense, manipulate" row
+    has the widest min/max span of the sub-nanoamp rows.
+    """
+
+    def __init__(
+        self,
+        rng: RngHub,
+        stream: str,
+        reverse_leakage: float = 0.4 * units.NA,
+        filter_exchange_sigma: float = 0.8 * units.NA,
+    ) -> None:
+        self.rng = rng
+        self.stream = stream
+        self.reverse_leakage = reverse_leakage
+        self.filter_exchange_sigma = filter_exchange_sigma
+
+    def leakage_current(self, line_voltage: float) -> float:
+        """Net leakage on the charge line while the circuit is inactive."""
+        reverse = self.reverse_leakage * (line_voltage / 2.4)
+        exchange = self.rng.gauss(self.stream, 0.0, self.filter_exchange_sigma)
+        return reverse * 0.3 + exchange * 0.35
+
+
+class DigitalBufferInput:
+    """An extremely-low-leakage digital buffer input (target-driven taps).
+
+    When the target drives the line HIGH, the buffer input sinks tens
+    of nanoamps (input leakage at Vin = 2.4 V); driven LOW, a couple of
+    nanoamps flow the other way through the input protection network.
+    These are the ~+65 nA (high) / ~-2 nA (low) signatures of the
+    Target->Debugger, code-marker, UART, and RF rows of Table 2.
+
+    Note the *sign*: at logic HIGH the measured current in Table 2 is
+    positive.  The source meter drives the line in that measurement, so
+    "into the target" reads positive; during live operation the target
+    itself sources this current, i.e. it is an energy cost of holding a
+    line high, paid only for the cycles the line is actually high.
+    """
+
+    def __init__(
+        self,
+        rng: RngHub,
+        stream: str,
+        high_leakage: float = 65 * units.NA,
+        high_sigma: float = 18 * units.NA,
+        low_leakage: float = -1.9 * units.NA,
+        low_sigma: float = 0.2 * units.NA,
+    ) -> None:
+        self.rng = rng
+        self.stream = stream
+        self.high_leakage = high_leakage
+        self.high_sigma = high_sigma
+        self.low_leakage = low_leakage
+        self.low_sigma = low_sigma
+
+    def leakage_current(self, line_voltage: float, logic_high: bool) -> float:
+        """Leakage for the given drive state."""
+        if logic_high:
+            draw = self.rng.gauss(self.stream, self.high_leakage, self.high_sigma)
+            return max(0.0, draw) * (line_voltage / 2.4)
+        return self.rng.gauss(self.stream, self.low_leakage, self.low_sigma)
+
+
+class LevelShifter:
+    """Debugger-driven level-shifted output (Debugger->Target comm).
+
+    The shifter's output stage is what drives the line, so the target
+    sees only the receiver's input leakage: essentially nothing
+    (+/- tens of picoamps).
+    """
+
+    def __init__(
+        self, rng: RngHub, stream: str, input_leakage_sigma: float = 0.012 * units.NA
+    ) -> None:
+        self.rng = rng
+        self.stream = stream
+        self.input_leakage_sigma = input_leakage_sigma
+
+    def leakage_current(self, line_voltage: float, logic_high: bool) -> float:
+        """Receiver input leakage (state-dependent offset, tiny)."""
+        offset = 0.0 if logic_high else -0.02 * units.NA
+        return offset + self.rng.gauss(self.stream, 0.0, self.input_leakage_sigma)
+
+
+class OpenDrainTap(DigitalBufferInput):
+    """I2C-style open-drain tap: low-leakage in both states.
+
+    The I2C rows of Table 2 are two orders of magnitude below the
+    push-pull digital taps because the monitor presents only a
+    high-impedance comparator input, never a driven stage.
+    """
+
+    def __init__(self, rng: RngHub, stream: str) -> None:
+        super().__init__(
+            rng,
+            stream,
+            high_leakage=0.04 * units.NA,
+            high_sigma=0.02 * units.NA,
+            low_leakage=-0.18 * units.NA,
+            low_sigma=0.05 * units.NA,
+        )
+
+    def leakage_current(self, line_voltage: float, logic_high: bool) -> float:
+        if logic_high:
+            return self.rng.gauss(self.stream, self.high_leakage, self.high_sigma)
+        return self.rng.gauss(self.stream, self.low_leakage, self.low_sigma)
+
+
+class AnalogBufferTracker:
+    """The Vreg-tracking analog buffer of §4.1.2.
+
+    Keeps the level shifter's reference rail equal to the target's
+    (possibly sagging) Vreg so the mismatch never exceeds the MCU's
+    protection-diode window.  ``reference_voltage`` is what the level
+    shifters see; the tracking error is a few millivolts.
+    """
+
+    def __init__(self, rng: RngHub, stream: str, error_sigma: float = 2 * units.MV):
+        self.rng = rng
+        self.stream = stream
+        self.error_sigma = error_sigma
+
+    def reference_voltage(self, vreg: float) -> float:
+        """The tracked rail presented to the level shifters."""
+        return max(0.0, vreg + self.rng.gauss(self.stream, 0.0, self.error_sigma))
+
+
+class ProtectionDiodes:
+    """The target MCU's I/O protection diodes.
+
+    If an externally driven line exceeds the target's rail by more than
+    the diode threshold (+/- 0.3 V per the MSP430FR datasheet the paper
+    cites), the diode conducts and dumps current into (or out of) the
+    target's supply — catastrophic energy interference.  EDB's Vreg
+    tracking exists precisely to keep this from ever activating.
+    """
+
+    def __init__(self, threshold: float = 0.3, on_resistance: float = 300.0) -> None:
+        self.threshold = threshold
+        self.on_resistance = on_resistance
+
+    def injected_current(self, line_voltage: float, rail_voltage: float) -> float:
+        """Current through the protection network (0 when within window)."""
+        excess = line_voltage - (rail_voltage + self.threshold)
+        if excess > 0.0:
+            return excess / self.on_resistance  # into the target rail
+        deficit = line_voltage - (0.0 - self.threshold)
+        if deficit < 0.0:
+            return deficit / self.on_resistance  # out of the target rail
+        return 0.0

@@ -1,0 +1,212 @@
+"""The debugger↔target connection harness (the wires of Figure 5).
+
+Every physical connection between EDB and the target is represented by
+a :class:`Connection` that knows which component terminates it on the
+debugger side and can therefore report the DC current flowing across it
+for a given drive state.  :class:`EDBConnectionHarness` assembles the
+full set from the paper's Figure 5 / Table 2:
+
+- capacitor sense/manipulate (instrumentation amp + keeper diode),
+- regulator sense / level reference (instrumentation amp),
+- debugger→target communication (level shifter output),
+- target→debugger communication, 2x code marker, UART RX/TX,
+  RF RX/TX (low-leakage digital buffer inputs),
+- I2C SCL/SDA (open-drain taps).
+
+The harness provides both the *measurement* interface the Table 2 bench
+sweeps with a source meter, and the *live* interface the debugger board
+uses to inject its (tiny) aggregate leakage into the target's power
+system during passive monitoring.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analog.components import (
+    DigitalBufferInput,
+    InstrumentationAmplifier,
+    KeeperDiode,
+    LevelShifter,
+    OpenDrainTap,
+)
+from repro.sim.rng import RngHub
+
+
+class LineState(enum.Enum):
+    """Drive state of a connection during a leakage measurement."""
+
+    HIGH = "high"
+    LOW = "low"
+    ANALOG = "analog"  # analog sense line (no logic state)
+
+
+@dataclass
+class Connection:
+    """One debugger↔target wire.
+
+    ``measure(voltage, state)`` returns the DC current across the
+    connection in amperes (positive into the target), evaluating the
+    terminating component's leakage model once — i.e. one source-meter
+    reading.
+    """
+
+    name: str
+    driver: str  # "target", "debugger", or "analog"
+    states: tuple[LineState, ...]
+    _model: Callable[[float, LineState], float]
+
+    def measure(self, voltage: float, state: LineState) -> float:
+        """One leakage sample at ``voltage`` in ``state`` (amperes)."""
+        if state not in self.states:
+            raise ValueError(
+                f"connection {self.name!r} has no {state.value!r} state"
+            )
+        return self._model(voltage, state)
+
+    def worst_case(
+        self, voltage: float, trials: int = 50
+    ) -> dict[LineState, dict[str, float]]:
+        """Min/avg/max over ``trials`` samples, per drive state."""
+        out: dict[LineState, dict[str, float]] = {}
+        for state in self.states:
+            samples = [self.measure(voltage, state) for _ in range(trials)]
+            out[state] = {
+                "min": min(samples),
+                "avg": sum(samples) / len(samples),
+                "max": max(samples),
+            }
+        return out
+
+
+# Measurement endpoint voltage: the paper applies 0 V or 2.4 V ("the
+# maximum voltage that can arise on any of the connections").
+MEASUREMENT_VOLTAGE = 2.4
+
+_DIGITAL = (LineState.HIGH, LineState.LOW)
+
+
+class EDBConnectionHarness:
+    """All of EDB's physical connections to one target."""
+
+    def __init__(self, rng: RngHub) -> None:
+        self.rng = rng
+        self.connections: dict[str, Connection] = {}
+        self._build()
+
+    def _add(self, connection: Connection) -> None:
+        self.connections[connection.name] = connection
+
+    def _analog(self, name: str, *models) -> None:
+        def evaluate(voltage: float, state: LineState) -> float:
+            return sum(m.leakage_current(voltage) for m in models)
+
+        self._add(Connection(name, "analog", (LineState.ANALOG,), evaluate))
+
+    def _buffer_tap(self, name: str, tap: DigitalBufferInput) -> None:
+        def evaluate(voltage: float, state: LineState) -> float:
+            return tap.leakage_current(voltage, state is LineState.HIGH)
+
+        self._add(Connection(name, "target", _DIGITAL, evaluate))
+
+    def _build(self) -> None:
+        rng = self.rng
+        self._analog(
+            "capacitor_sense_manipulate",
+            InstrumentationAmplifier(rng, "amp.vcap"),
+            KeeperDiode(rng, "diode.charge"),
+        )
+        self._analog(
+            "regulator_sense_level_reference",
+            InstrumentationAmplifier(
+                rng, "amp.vreg", bias_at_fullscale=0.02e-9
+            ),
+        )
+
+        shifter = LevelShifter(rng, "shifter.d2t")
+
+        def d2t(voltage: float, state: LineState) -> float:
+            return shifter.leakage_current(voltage, state is LineState.HIGH)
+
+        self._add(
+            Connection("debugger_to_target_comm", "debugger", _DIGITAL, d2t)
+        )
+
+        for name in (
+            "target_to_debugger_comm",
+            "code_marker_0",
+            "code_marker_1",
+            "uart_rx",
+            "uart_tx",
+            "rf_rx",
+            "rf_tx",
+        ):
+            self._buffer_tap(name, DigitalBufferInput(rng, f"buffer.{name}"))
+
+        for name in ("i2c_scl", "i2c_sda"):
+            self._buffer_tap(name, OpenDrainTap(rng, f"tap.{name}"))
+
+    # -- queries ------------------------------------------------------------
+    def names(self) -> list[str]:
+        """All connection names, in Figure 5 order."""
+        return list(self.connections)
+
+    def connection(self, name: str) -> Connection:
+        """Look a connection up by name."""
+        try:
+            return self.connections[name]
+        except KeyError:
+            raise KeyError(
+                f"no connection {name!r}; have {self.names()}"
+            ) from None
+
+    def characterise(
+        self, voltage: float = MEASUREMENT_VOLTAGE, trials: int = 50
+    ) -> dict[str, dict[LineState, dict[str, float]]]:
+        """The full Table 2 sweep: per-connection, per-state min/avg/max."""
+        return {
+            name: conn.worst_case(voltage, trials)
+            for name, conn in self.connections.items()
+        }
+
+    def worst_case_total(
+        self, voltage: float = MEASUREMENT_VOLTAGE, trials: int = 50
+    ) -> float:
+        """Worst-case total interference current (amperes).
+
+        The paper's bottom-line number: the sum over all connections of
+        the largest-magnitude current observed in any state — the
+        absolute worst case "when all lines are active".
+        """
+        total = 0.0
+        for conn in self.connections.values():
+            stats = conn.worst_case(voltage, trials)
+            total += max(
+                max(abs(s["min"]), abs(s["max"])) for s in stats.values()
+            )
+        return total
+
+    # -- live operating point --------------------------------------------------
+    def live_leakage(self, line_states: dict[str, bool], vcap: float) -> float:
+        """Net DC current into the target at a live operating point.
+
+        ``line_states`` maps digital connection names to their current
+        logic level (absent names are assumed LOW); analog senses are
+        always connected.  This is what the debugger board feeds into
+        :meth:`repro.power.supply.PowerSystem.inject_current` while
+        passively monitoring.
+        """
+        total = 0.0
+        for name, conn in self.connections.items():
+            if LineState.ANALOG in conn.states:
+                total += conn.measure(vcap, LineState.ANALOG)
+            else:
+                high = line_states.get(name, False)
+                state = LineState.HIGH if high else LineState.LOW
+                # Input leakage of a target-driven HIGH line is sourced
+                # by the target's driver, i.e. it leaves the target.
+                sample = conn.measure(vcap, state)
+                total += -sample if conn.driver == "target" else sample
+        return total

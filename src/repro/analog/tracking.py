@@ -1,0 +1,105 @@
+"""The Vreg-tracking level-shifter bank (§4.1.2).
+
+EDB's digital taps sit behind level shifters whose reference rail must
+match the target's regulated voltage.  The subtlety the paper calls out:
+*"the Vreg line may drop below its specified, regulated value during a
+power failure on the target device"* — and if the shifter keeps driving
+at the nominal rail while the target's rail sags, the mismatch exceeds
+the MCU's ±0.3 V protection-diode window and the diodes conduct,
+dumping current into the dying target — catastrophic interference at
+exactly the moment that must not be perturbed.
+
+:class:`LevelShifterBank` models a bank of debugger-driven lines with a
+selectable reference strategy:
+
+- ``tracked=True`` (EDB's design): the analog buffer follows the live
+  Vreg, keeping the mismatch at millivolts in every power state;
+- ``tracked=False`` (the naive design): the reference is fixed at the
+  nominal rail, and the bank reports the protection-diode current the
+  target suffers as its rail sags.
+"""
+
+from __future__ import annotations
+
+from repro.analog.components import AnalogBufferTracker, ProtectionDiodes
+from repro.power.supply import PowerSystem
+from repro.sim.rng import RngHub
+
+
+class LevelShifterBank:
+    """Debugger-driven lines referenced to a (tracked or fixed) rail.
+
+    Parameters
+    ----------
+    rng:
+        Random hub (tracking-error jitter).
+    power:
+        The target's power system (provides the live Vreg).
+    lines:
+        Names of the debugger-driven lines in the bank.
+    tracked:
+        Reference strategy (see module docstring).
+    nominal_rail:
+        The fixed reference used when ``tracked`` is false.
+    """
+
+    def __init__(
+        self,
+        rng: RngHub,
+        power: PowerSystem,
+        lines: list[str] | None = None,
+        tracked: bool = True,
+        nominal_rail: float = 2.0,
+    ) -> None:
+        self.power = power
+        self.tracked = tracked
+        self.nominal_rail = nominal_rail
+        self.lines = lines or ["debugger_to_target_comm"]
+        self.states: dict[str, bool] = {name: False for name in self.lines}
+        self._tracker = AnalogBufferTracker(rng, "shifter.tracker")
+        self._diodes = ProtectionDiodes()
+
+    def drive(self, line: str, state: bool) -> None:
+        """Set a debugger-driven line's logic state."""
+        if line not in self.states:
+            raise KeyError(f"no line {line!r} in the bank; have {self.lines}")
+        self.states[line] = state
+
+    def reference_voltage(self) -> float:
+        """The rail the shifters' output stage uses right now."""
+        if self.tracked:
+            return self._tracker.reference_voltage(self.power.vreg)
+        return self.nominal_rail
+
+    def line_voltage(self, line: str) -> float:
+        """The voltage presented on one line (reference if HIGH, 0 if LOW)."""
+        return self.reference_voltage() if self.states[line] else 0.0
+
+    def mismatch(self, line: str) -> float:
+        """Line voltage minus the target's rail (the dangerous quantity)."""
+        return self.line_voltage(line) - self.power.vreg
+
+    def protection_current(self) -> float:
+        """Total current through the target's protection diodes, amperes.
+
+        Zero whenever every line stays within the ±0.3 V window of the
+        target's rail — which the tracked design guarantees by
+        construction and the naive design violates during power
+        failures.
+        """
+        rail = self.power.vreg
+        total = 0.0
+        for line in self.lines:
+            total += self._diodes.injected_current(self.line_voltage(line), rail)
+        return total
+
+    def apply_interference(self) -> float:
+        """Inject the current protection-diode current into the target.
+
+        Returns the injected current; call periodically (like the
+        board's leakage updater) to make the interference live.
+        """
+        current = self.protection_current()
+        existing = self.power.injected_current
+        self.power.inject_current(existing + current)
+        return current

@@ -1,0 +1,31 @@
+"""The evaluation's application workloads (§5.1, §5.3).
+
+Four programs run on the simulated WISP, mirroring the paper's set:
+
+- :class:`~repro.apps.linked_list.LinkedListApp` — the custom test
+  program that manipulates a non-volatile doubly-linked list and
+  corrupts it under intermittent power (§5.3.1, Figures 3/6/7);
+- :class:`~repro.apps.fibonacci.FibonacciApp` — the persistent
+  Fibonacci list generator whose debug-build consistency check starves
+  the main loop without energy guards (§5.3.2, Figures 8/9);
+- :class:`~repro.apps.activity.ActivityRecognitionApp` — the
+  machine-learning-based activity recognition application traced and
+  profiled in §5.3.3 (Figure 10/11, Table 4);
+- :class:`~repro.apps.rfid_firmware.RfidFirmwareApp` — the WISP RFID
+  firmware monitored in §5.3.4 (Figure 12).
+"""
+
+from repro.apps.activity import ActivityRecognitionApp
+from repro.apps.fibonacci import FibonacciApp
+from repro.apps.linked_list import LinkedListApp
+from repro.apps.rfid_firmware import RfidFirmwareApp
+from repro.apps.sensors import Accelerometer, MotionProfile
+
+__all__ = [
+    "Accelerometer",
+    "ActivityRecognitionApp",
+    "FibonacciApp",
+    "LinkedListApp",
+    "MotionProfile",
+    "RfidFirmwareApp",
+]

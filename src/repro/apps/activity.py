@@ -1,0 +1,164 @@
+"""The activity-recognition application of §5.3.3 (Figure 10/11, Table 4).
+
+A machine-learning application adapted from prior work [Lucia &
+Ransford, PLDI'15]: each main-loop iteration reads a window of
+accelerometer samples over I2C, extracts features (mean and mean
+absolute deviation of the magnitude), classifies the window as
+"stationary" or "moving" with a nearest-centroid model, and updates
+statistics in non-volatile memory.
+
+Instrumentation points (Figure 10):
+
+- ``WATCHPOINT(1)`` at the top of each iteration,
+- ``WATCHPOINT(2)`` on the stationary-classified path,
+- ``WATCHPOINT(3)`` on the moving-classified path,
+- an optional per-iteration debug print of the intermediate
+  classification result, via UART (``output="uart"``) or EDB's
+  energy-interference-free printf (``output="edb"``).
+
+Table 4 compares the three output modes; Figure 11 is the per-iteration
+energy CDF from the watchpoint energy snapshots.
+"""
+
+from __future__ import annotations
+
+from repro.apps.sensors import Accelerometer, I2C_ADDRESS, REG_XDATA_L
+from repro.mcu.hlapi import DeviceAPI, ProgramComplete
+from repro.runtime.nonvolatile import NVCounter
+
+OUTPUT_MODES = ("none", "uart", "edb")
+
+# Nearest-centroid model (counts): centroids of the magnitude-deviation
+# feature for the two classes, trained offline in the original work.
+# The deviation feature is |magnitude - 1 g|: at the millisecond window
+# lengths an intermittent device can afford, gravity is the only stable
+# reference (a gait period is ~100x longer than the window).
+CENTROID_STATIONARY = (1000, 10)  # (mean magnitude, mean abs dev from 1 g)
+CENTROID_MOVING = (1080, 150)
+
+WINDOW_SAMPLES = 3
+FEATURE_CYCLES = 4600  # sqrt/magnitude arithmetic per window
+CLASSIFY_CYCLES = 3600  # distance computation + argmin
+HOUSEKEEPING_CYCLES = 2000  # loop control, windowing buffers
+
+
+class ActivityRecognitionApp:
+    """The AR workload with selectable debug-output instrumentation.
+
+    Parameters
+    ----------
+    output:
+        ``"none"`` (release), ``"uart"`` (conventional serial print),
+        or ``"edb"`` (energy-interference-free printf; needs libEDB).
+    use_watchpoints:
+        Insert the Figure 10 watchpoints (needs libEDB to do anything).
+    max_iterations:
+        Stop (``ProgramComplete``) after this many completed
+        iterations; ``None`` runs forever.
+    """
+
+    name = "activity-recognition"
+
+    def __init__(
+        self,
+        output: str = "none",
+        use_watchpoints: bool = True,
+        max_iterations: int | None = None,
+    ) -> None:
+        if output not in OUTPUT_MODES:
+            raise ValueError(f"output must be one of {OUTPUT_MODES} (got {output!r})")
+        self.output = output
+        self.use_watchpoints = use_watchpoints
+        self.max_iterations = max_iterations
+        self.iterations_attempted = 0
+        self.iterations_completed = 0
+
+    def flash(self, api: DeviceAPI) -> None:
+        """Zero the NV statistics."""
+        for name in ("ar.total", "ar.stationary", "ar.moving"):
+            api.device.memory.write_u16(api.nv_var(f"counter.{name}"), 0)
+        self.iterations_attempted = 0
+        self.iterations_completed = 0
+
+    # -- the sense -> featurise -> classify pipeline -------------------------------
+    def _read_window(self, api: DeviceAPI) -> list[tuple[int, int, int]]:
+        window = []
+        for _ in range(WINDOW_SAMPLES):
+            raw = api.i2c_read(I2C_ADDRESS, REG_XDATA_L, 6)
+            window.append(Accelerometer.decode_sample(raw))
+        return window
+
+    @staticmethod
+    def featurise(window: list[tuple[int, int, int]]) -> tuple[int, int]:
+        """(mean magnitude, mean absolute deviation from 1 g)."""
+        from repro.apps.sensors import GRAVITY_COUNTS
+
+        magnitudes = [
+            int((x * x + y * y + z * z) ** 0.5) for x, y, z in window
+        ]
+        mean = sum(magnitudes) // len(magnitudes)
+        deviation = sum(
+            abs(m - GRAVITY_COUNTS) for m in magnitudes
+        ) // len(magnitudes)
+        return mean, deviation
+
+    @staticmethod
+    def classify(features: tuple[int, int]) -> bool:
+        """Nearest centroid; returns True for "moving"."""
+
+        def dist2(centroid: tuple[int, int]) -> int:
+            dm = features[0] - centroid[0]
+            dd = (features[1] - centroid[1]) * 4  # deviation dominates
+            return dm * dm + dd * dd
+
+        return dist2(CENTROID_MOVING) < dist2(CENTROID_STATIONARY)
+
+    # -- one powered execution attempt ---------------------------------------------
+    def main(self, api: DeviceAPI) -> None:
+        """Figure 10's main loop."""
+        total = NVCounter(api, "ar.total")
+        stationary = NVCounter(api, "ar.stationary")
+        moving = NVCounter(api, "ar.moving")
+        while True:
+            if self.use_watchpoints:
+                api.edb_watchpoint(1)
+            self.iterations_attempted += 1
+            window = self._read_window(api)
+            api.compute(FEATURE_CYCLES)
+            features = self.featurise(window)
+            api.compute(CLASSIFY_CYCLES)
+            is_moving = self.classify(features)
+            count = total.increment()
+            api.branch()
+            if is_moving:
+                moving.increment()
+                if self.use_watchpoints:
+                    api.edb_watchpoint(3)
+            else:
+                stationary.increment()
+                if self.use_watchpoints:
+                    api.edb_watchpoint(2)
+            if self.output != "none":
+                text = f"i={count} m={1 if is_moving else 0}"
+                if self.output == "uart":
+                    api.uart_print(text + "\n")
+                else:
+                    api.edb_printf(text)
+            api.compute(HOUSEKEEPING_CYCLES)
+            self.iterations_completed += 1
+            api.branch()
+            if (
+                self.max_iterations is not None
+                and self.iterations_completed >= self.max_iterations
+            ):
+                raise ProgramComplete(self.iterations_completed)
+
+    # -- host-side ground-truth scoring ------------------------------------------------
+    @staticmethod
+    def read_stats(api: DeviceAPI) -> dict[str, int]:
+        """The NV statistics as the host would read them post-run."""
+        memory = api.device.memory
+        return {
+            name: memory.read_u16(api.nv_var(f"counter.ar.{name}"))
+            for name in ("total", "stationary", "moving")
+        }

@@ -1,0 +1,117 @@
+"""Assembly versions of intermittent workloads for the ISA core.
+
+The high-level apps in this package model the paper's C programs at
+operation granularity; these are the same ideas expressed in actual
+assembly for the instruction-level core — useful for exercising the
+checkpointing runtime, program-event monitoring of real code (``mark``
+instructions are EDB watchpoints), and the debugger's register/memory
+inspection on something with a genuine PC and stack.
+
+Each entry is a source string plus an ``assemble_*`` helper returning
+the :class:`~repro.mcu.assembler.Program`.
+"""
+
+from __future__ import annotations
+
+from repro.mcu.assembler import Program, assemble
+
+# -- persistent Fibonacci (the Figure 8 idea, registers + FRAM) ------------
+#
+# Generates Fibonacci numbers into an FRAM array.  The *index* is kept
+# in FRAM and re-read at boot, so progress survives reboots one element
+# at a time (each store is idempotent for a given index) — the
+# assembly analogue of keeping state in non-volatile memory.
+FIB_SOURCE = """
+        .org 0xA000
+index:  .word 2              ; next element to produce (NV progress)
+array:  .space 128           ; up to 64 Fibonacci values
+        .equ COUNT, 40
+
+start:  mov &index, r4       ; resume from NV progress
+next:   cmp #COUNT, r4
+        jz  done
+        mark #1              ; watchpoint: producing one element
+        ; r6 = array[r4-1], r7 = array[r4-2]
+        mov r4, r5
+        dec r5
+        shl r5               ; byte offset of element r4-1
+        mov #array, r8
+        add r5, r8
+        mov @r8, r6
+        sub #2, r8
+        mov @r8, r7
+        add r6, r7           ; next value
+        mov r4, r5
+        shl r5
+        mov #array, r8
+        add r5, r8
+        mov r7, @r8
+        inc r4
+        mov r4, &index       ; publish progress (single word: atomic)
+        jmp next
+done:   mark #2              ; watchpoint: workload complete
+        halt
+"""
+
+# -- long register-resident summation (the checkpointing showcase) ---------
+SUM_SOURCE_TEMPLATE = """
+        .org 0xA000
+total:  .word 0
+start:  mov #0, r4
+        mov #0, r5
+loop:   add #1, r4
+        add r4, r5
+        out r4, #0x10        ; checkpoint request port
+        cmp #{n}, r4
+        jnz loop
+        mov r5, &total
+        mark #2
+        halt
+"""
+
+# -- a GPIO heartbeat loop (the "main loop" oscilloscope channel) ----------
+HEARTBEAT_SOURCE = """
+        .org 0xA000
+        .equ GPIO_PORT, 0x01
+beats:  .word 0
+start:  mov #0, r6
+loop:   mov #1, r7
+        out r7, #GPIO_PORT
+        mov #0, r7
+        out r7, #GPIO_PORT
+        inc r6
+        mov r6, &beats
+        mark #1
+        jmp loop
+"""
+
+
+def assemble_fibonacci() -> Program:
+    """The FRAM-resident Fibonacci generator (seeds F0=0, F1=1)."""
+    return assemble(FIB_SOURCE)
+
+
+def seed_fibonacci(device, program: Program) -> None:
+    """Write the two seed values into the array (part of flashing)."""
+    array = program.symbols["array"]
+    device.memory.write_u16(array, 0)
+    device.memory.write_u16(array + 2, 1)
+    device.memory.write_u16(program.symbols["index"], 2)
+
+
+def read_fibonacci(device, program: Program, count: int) -> list[int]:
+    """Host-side readout of the produced sequence."""
+    array = program.symbols["array"]
+    return [device.memory.read_u16(array + 2 * i) for i in range(count)]
+
+
+def assemble_summation(n: int = 30000) -> Program:
+    """Register-resident sum of 1..n (needs checkpoints to finish)."""
+    if not 0 < n <= 0xFFFF:
+        raise ValueError(f"n out of range: {n}")
+    return assemble(SUM_SOURCE_TEMPLATE.format(n=n))
+
+
+def assemble_heartbeat() -> Program:
+    """An endless GPIO-toggling loop (port 0x01 drives a pin)."""
+    return assemble(HEARTBEAT_SOURCE)

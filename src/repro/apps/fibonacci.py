@@ -1,0 +1,159 @@
+"""The Fibonacci list generator of §5.3.2 (Figures 8, 9).
+
+The app generates the Fibonacci sequence (mod 2^16) and appends each
+number to a non-volatile doubly-linked list; a GPIO pin toggles per
+iteration.  The *debug build* begins every ``main()`` entry with an
+energy-hungry consistency check that traverses the whole list and
+verifies the pointer structure and the Fibonacci recurrence in every
+node.
+
+The check's cost is proportional to the list length, so once the list
+is long enough the check alone consumes an entire charge-discharge
+cycle and the main loop never runs again — the paper observed the hang
+at roughly 555 items.  Wrapping the check in EDB energy guards
+(``use_energy_guard=True``) moves its cost onto tethered power and the
+main loop keeps executing indefinitely.
+"""
+
+from __future__ import annotations
+
+from repro.mcu.hlapi import DeviceAPI, ProgramComplete
+from repro.runtime.nonvolatile import NVLinkedList
+
+
+class FibonacciApp:
+    """Persistent Fibonacci generator with an optional debug build.
+
+    Parameters
+    ----------
+    debug_build:
+        Include the O(n) consistency check at the top of ``main``.
+    use_energy_guard:
+        Wrap the check in EDB energy guards (needs libEDB linked in).
+    capacity:
+        Node-pool size (bounds how long the list can grow).
+    check_node_cycles:
+        Extra per-node cost of the check beyond its memory traffic
+        (assert machinery, redundant recomputation).  The default is
+        calibrated so the un-guarded debug build hangs at a list length
+        in the neighbourhood of the paper's ~555 items.
+    iteration_cycles:
+        Per-iteration work besides the append itself (number
+        generation, statistics, the GPIO heartbeat) — this is what
+        spreads list growth across many charge/discharge cycles.
+    target_length:
+        Raise :class:`ProgramComplete` when the list reaches this
+        length (``None`` = run forever).
+    """
+
+    name = "fibonacci-list"
+
+    def __init__(
+        self,
+        debug_build: bool = True,
+        use_energy_guard: bool = False,
+        capacity: int = 800,
+        check_node_cycles: int = 315,
+        iteration_cycles: int = 2000,
+        target_length: int | None = None,
+    ) -> None:
+        self.debug_build = debug_build
+        self.use_energy_guard = use_energy_guard
+        self.capacity = capacity
+        self.check_node_cycles = check_node_cycles
+        self.iteration_cycles = iteration_cycles
+        self.target_length = target_length
+        self.checks_run = 0
+        self.check_failures = 0
+
+    def flash(self, api: DeviceAPI) -> None:
+        """Initialise the list with the seed values F(0)=0, F(1)=1."""
+        nv_list = self._list(api)
+        nv_list.init()
+        for index, seed in enumerate((0, 1)):
+            node = nv_list.node(index)
+            # Direct image writes: flashing happens off-device.
+            api.device.memory.write_u16(
+                node.address + node.layout.offset("value"), seed
+            )
+        nv_list.append(nv_list.node_address(0))
+        nv_list.append(nv_list.node_address(1))
+        api.device.memory.write_u16(api.nv_var("fib.alloc"), 2)
+
+    def _list(self, api: DeviceAPI) -> NVLinkedList:
+        return NVLinkedList(api, "fib", capacity=self.capacity)
+
+    # -- the debug build's consistency check ------------------------------------
+    def consistency_check(self, api: DeviceAPI, nv_list: NVLinkedList) -> bool:
+        """Traverse the list verifying structure and the recurrence.
+
+        Cost scales with list length — the property that makes this
+        check lethal on harvested energy without an energy guard.
+        """
+        self.checks_run += 1
+        ok = True
+        prev_addr = 0
+        prev_value: int | None = None
+        prev_prev_value: int | None = None
+        cursor = nv_list.header.get("head")
+        visited = 0
+        while cursor != 0 and visited <= self.capacity + 2:
+            node = nv_list.node_at(cursor)
+            if node.get("prev") != prev_addr:
+                ok = False
+            value = node.get("value")
+            api.branch()
+            if prev_value is not None and prev_prev_value is not None:
+                expected = (prev_value + prev_prev_value) & 0xFFFF
+                if value != expected:
+                    ok = False
+            # Assert machinery / redundant verification work.
+            api.compute(self.check_node_cycles)
+            prev_prev_value, prev_value = prev_value, value
+            prev_addr = cursor
+            cursor = node.get("next")
+            visited += 1
+        if prev_addr != nv_list.header.get("tail"):
+            ok = False
+        if visited != nv_list.length():
+            ok = False
+        if not ok:
+            self.check_failures += 1
+        return ok
+
+    # -- one powered execution attempt ----------------------------------------------
+    def main(self, api: DeviceAPI) -> None:
+        """Figure 8's main: debug check first, then the generate loop."""
+        nv_list = self._list(api)
+        if self.debug_build:
+            if self.use_energy_guard:
+                with api.edb_energy_guard():
+                    self.consistency_check(api, nv_list)
+            else:
+                self.consistency_check(api, nv_list)
+        alloc_addr = api.nv_var("fib.alloc")
+        while True:
+            api.gpio_toggle("main_loop")
+            # Fresh-node allocation: bump the NV counter *before*
+            # linking, so a reboot can at worst leak a pool slot, never
+            # hand the same node out twice (which would self-loop the
+            # chain).
+            alloc = api.load_u16(alloc_addr)
+            api.branch()
+            if alloc >= self.capacity:
+                raise ProgramComplete(nv_list.length())
+            if self.target_length is not None and alloc >= self.target_length:
+                raise ProgramComplete(nv_list.length())
+            api.store_u16(alloc_addr, alloc + 1)
+            tail_addr = nv_list.header.get("tail")
+            tail = nv_list.node_at(tail_addr)
+            prev_addr = tail.get("prev")
+            value = (
+                tail.get("value") + nv_list.node_at(prev_addr).get("value")
+            ) & 0xFFFF
+            node = nv_list.node(alloc)
+            node.set("value", value)
+            node.set("buf", 0)
+            nv_list.append(nv_list.node_address(alloc))
+            api.compute(self.iteration_cycles)
+            api.gpio_toggle("main_loop")

@@ -1,0 +1,129 @@
+"""The linked-list test program of §5.3.1 (Figures 3, 6, 7).
+
+The main loop maintains a doubly-linked list in non-volatile memory.
+Each iteration appends a node (carrying a pointer to a buffer in
+*volatile* memory) when the list is empty, or removes the node and
+memsets the buffer it points to otherwise.  A GPIO pin toggles at the
+start and end of each iteration — the "Main Loop" channel in the
+paper's oscilloscope traces.
+
+Under continuous power the list stays correct forever.  Under
+intermittent power, a reboot inside ``append``'s vulnerable window
+strands the tail pointer; the next ``remove`` then dereferences a NULL
+``next`` pointer and writes through a wild pointer — after which the
+device crash-loops on every subsequent boot ("the only way to recover
+is to re-flash the device").
+
+With ``use_assert=True`` (and EDB linked in), the Figure 6 invariant —
+*the tail pointer points to the last element* — is asserted before
+every list manipulation, catching the inconsistency at its source.
+"""
+
+from __future__ import annotations
+
+from repro.mcu.hlapi import DeviceAPI, ProgramComplete
+from repro.runtime.nonvolatile import NVLinkedList, SafeNVLinkedList
+
+
+class LinkedListApp:
+    """The paper's custom linked-list test program.
+
+    Parameters
+    ----------
+    use_assert:
+        Insert the Figure 6 ``assert(tail is last)`` invariant checks
+        (only meaningful when libEDB is linked into the executor).
+    use_safe_list:
+        Swap in the intermittence-safe list variant with reboot repair
+        (the fixed baseline; the bug never manifests).
+    max_iterations:
+        Raise :class:`ProgramComplete` after this many completed
+        iterations (``None`` = run forever, as on a real deployment).
+    update_cycles:
+        Base cost of the ``update(e)`` phase; the effective cost varies
+        per iteration (data-dependent work), which makes the brown-out
+        point sweep across the loop body over successive cycles.
+    """
+
+    name = "linked-list-test"
+
+    BUFFER_BYTES = 16
+
+    def __init__(
+        self,
+        use_assert: bool = False,
+        use_safe_list: bool = False,
+        max_iterations: int | None = None,
+        update_cycles: int = 300,
+    ) -> None:
+        self.use_assert = use_assert
+        self.use_safe_list = use_safe_list
+        self.max_iterations = max_iterations
+        self.update_cycles = update_cycles
+        self.iterations_completed = 0
+
+    # -- FRAM image (set once, like flashing the device) ---------------------
+    def flash(self, api: DeviceAPI) -> None:
+        """Initialise the non-volatile list and counters."""
+        nv_list = self._list(api)
+        nv_list.init()
+        api.device.memory.write_u16(api.nv_var("ll.counter"), 0)
+        self.iterations_completed = 0
+
+    def _list(self, api: DeviceAPI) -> NVLinkedList:
+        cls = SafeNVLinkedList if self.use_safe_list else NVLinkedList
+        return cls(api, "ll", capacity=4)
+
+    def _check_invariant(self, api: DeviceAPI, nv_list: NVLinkedList) -> None:
+        if self.use_assert:
+            api.edb_assert(
+                nv_list.tail_is_last(), "list tail does not point to last element"
+            )
+
+    # -- one powered execution attempt ------------------------------------------
+    def main(self, api: DeviceAPI) -> None:
+        """The Figure 6 main loop (entered fresh after every reboot)."""
+        nv_list = self._list(api)
+        if self.use_safe_list:
+            nv_list.repair()  # type: ignore[attr-defined]
+        counter_addr = api.nv_var("ll.counter")
+        buffer_addr = api.sram_var("ll.buffer", self.BUFFER_BYTES)
+        while True:
+            api.gpio_toggle("main_loop")
+            counter = api.load_u16(counter_addr)
+            # Emptiness as the C code would test it: both list pointers
+            # NULL.  A corrupted list disagrees between the two — and
+            # any disagreement sends this iteration down the remove
+            # path into undefined behaviour (exactly the Figure 3
+            # failure chain).
+            empty = (
+                nv_list.header.get("head") == 0
+                and nv_list.header.get("tail") == 0
+            )
+            api.branch()
+            if empty:
+                # Append a fresh node pointing at the volatile buffer.
+                node = nv_list.node(0)
+                node.set("value", counter)
+                node.set("buf", buffer_addr)
+                self._check_invariant(api, nv_list)
+                nv_list.append(nv_list.node_address(0))
+            else:
+                # Remove the node and clear the buffer it points to.
+                head = nv_list.header.get("head")
+                self._check_invariant(api, nv_list)
+                node = nv_list.node_at(head)
+                buf_ptr = node.get("buf")
+                nv_list.remove(head)
+                api.memset(buf_ptr, 0xAB, self.BUFFER_BYTES)
+            # update(e): data-dependent work, varies per iteration.
+            api.compute(self.update_cycles + (counter % 7) * 40)
+            api.store_u16(counter_addr, (counter + 1) & 0xFFFF)
+            api.gpio_toggle("main_loop")
+            self.iterations_completed += 1
+            api.branch()
+            if (
+                self.max_iterations is not None
+                and self.iterations_completed >= self.max_iterations
+            ):
+                raise ProgramComplete(self.iterations_completed)

@@ -1,0 +1,101 @@
+"""The WISP RFID firmware of §5.3.4 (Figure 12).
+
+The firmware decodes reader commands from the demodulated RX bit
+stream in software and replies with the tag's identifier by
+backscatter.  Between commands it sleeps at the harvesting duty cycle;
+while decoding and replying it burns real cycles, so a sagging supply
+can (and does) cut a decode short — which is exactly why the paper
+needs an *external* decoder on EDB's side to tell corrupted-in-flight
+messages apart from messages the tag failed to parse.
+"""
+
+from __future__ import annotations
+
+from repro.io.rfid.channel import RfidChannel
+from repro.io.rfid.protocol import (
+    CommandKind,
+    ReaderCommand,
+    ReplyKind,
+    RfidDecodeError,
+    TagReply,
+)
+from repro.mcu.hlapi import DeviceAPI, ProgramComplete
+from repro.runtime.nonvolatile import NVCounter
+
+DECODE_CYCLES_PER_BIT = 60  # software demodulation + framing per bit
+REPLY_SETUP_CYCLES = 400  # assemble the response, seed the modulator
+BACKSCATTER_CYCLES_PER_BIT = 8  # modulator toggling per reply bit
+POLL_BUSY_CYCLES = 800  # tight edge-sampling loop between commands
+
+
+class RfidFirmwareApp:
+    """WISP RFID firmware: decode queries, reply with the tag EPC.
+
+    Parameters
+    ----------
+    channel:
+        The air interface shared with an :class:`RFIDReader`.
+    epc_word:
+        The identifier word sent in replies.
+    max_replies:
+        Stop after this many replies (``None`` = run forever).
+    """
+
+    name = "wisp-rfid-firmware"
+
+    def __init__(
+        self,
+        channel: RfidChannel,
+        epc_word: int = 0xB0B0,
+        max_replies: int | None = None,
+    ) -> None:
+        self.channel = channel
+        self.epc_word = epc_word
+        self.max_replies = max_replies
+        self.commands_decoded = 0
+        self.decode_failures = 0
+        self.replies_attempted = 0
+
+    def flash(self, api: DeviceAPI) -> None:
+        """Zero the NV reply counter."""
+        api.device.memory.write_u16(api.nv_var("counter.rfid.replies"), 0)
+        self.commands_decoded = 0
+        self.decode_failures = 0
+        self.replies_attempted = 0
+
+    def main(self, api: DeviceAPI) -> None:
+        """Poll the demodulator; decode; reply."""
+        # Demodulated bits buffered before this boot are gone: the
+        # demodulator front end is volatile state.
+        self.channel.clear_tag_queue()
+        replies = NVCounter(api, "rfid.replies")
+        while True:
+            delivered = self.channel.pop_tag_command()
+            api.branch()
+            if delivered is None:
+                # The real firmware busy-samples the demodulator for
+                # edges; listening is not free, which is why the tag
+                # still power-cycles at 1 m (Figure 12's sawtooth).
+                api.compute(POLL_BUSY_CYCLES)
+                continue
+            # Software decode: per-bit cost, interruptible by brown-out.
+            for _ in delivered.bits:
+                api.compute(DECODE_CYCLES_PER_BIT)
+            try:
+                command = ReaderCommand.decode_bits(delivered.bits)
+            except RfidDecodeError:
+                self.decode_failures += 1
+                continue
+            self.commands_decoded += 1
+            api.branch()
+            if command.kind in (CommandKind.QUERY, CommandKind.QUERYREP):
+                reply = TagReply(ReplyKind.GENERIC, payload=(self.epc_word,))
+                api.compute(REPLY_SETUP_CYCLES)
+                api.compute(BACKSCATTER_CYCLES_PER_BIT * reply.bit_length())
+                self.replies_attempted += 1
+                self.channel.send_reply(reply)
+                count = replies.increment()
+                api.branch()
+                if self.max_replies is not None and count >= self.max_replies:
+                    raise ProgramComplete(count)
+            # ACKs carry no work for this firmware subset.

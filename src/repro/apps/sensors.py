@@ -1,0 +1,153 @@
+"""Sensor peripherals: the accelerometer behind the AR case study.
+
+The accelerometer sits on the target's I2C bus (like the ADXL362 on the
+WISP 5) and serves 16-bit X/Y/Z samples out of its data registers.  A
+:class:`MotionProfile` drives what those registers read at any
+simulated time — stationary (gravity plus noise), walking (a periodic
+gait), or a schedule alternating between the two, which is what gives
+the activity-recognition app a ground truth to be scored against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.kernel import Simulator
+
+# Register map (ADXL362-flavoured): six data registers, one status.
+REG_XDATA_L = 0x00
+REG_STATUS = 0x0B
+I2C_ADDRESS = 0x1D
+
+GRAVITY_COUNTS = 1000  # 1 g in sensor counts
+
+
+@dataclass(frozen=True)
+class MotionSegment:
+    """One stretch of ground-truth motion."""
+
+    moving: bool
+    duration_s: float
+
+
+class MotionProfile:
+    """Ground-truth motion as a function of simulated time.
+
+    Parameters
+    ----------
+    segments:
+        The schedule; cycles if ``repeat`` is true.
+    walk_amplitude:
+        Peak acceleration of the gait oscillation, in counts.
+    walk_frequency_hz:
+        Step frequency of the gait.
+    noise_counts:
+        Gaussian sensor noise sigma, in counts.
+    """
+
+    def __init__(
+        self,
+        segments: list[MotionSegment] | None = None,
+        walk_amplitude: int = 400,
+        walk_frequency_hz: float = 2.0,
+        noise_counts: float = 12.0,
+        repeat: bool = True,
+    ) -> None:
+        self.segments = segments or [
+            MotionSegment(moving=False, duration_s=0.5),
+            MotionSegment(moving=True, duration_s=0.5),
+        ]
+        if not self.segments:
+            raise ValueError("motion profile needs at least one segment")
+        self.walk_amplitude = walk_amplitude
+        self.walk_frequency_hz = walk_frequency_hz
+        self.noise_counts = noise_counts
+        self.repeat = repeat
+        self._period = sum(s.duration_s for s in self.segments)
+
+    @staticmethod
+    def stationary() -> "MotionProfile":
+        """Always-still profile."""
+        return MotionProfile([MotionSegment(moving=False, duration_s=1.0)])
+
+    @staticmethod
+    def walking() -> "MotionProfile":
+        """Always-moving profile."""
+        return MotionProfile([MotionSegment(moving=True, duration_s=1.0)])
+
+    def is_moving(self, t: float) -> bool:
+        """Ground truth at time ``t``."""
+        if self._period <= 0.0:
+            return self.segments[0].moving
+        phase = t % self._period if self.repeat else min(t, self._period - 1e-12)
+        for segment in self.segments:
+            if phase < segment.duration_s:
+                return segment.moving
+            phase -= segment.duration_s
+        return self.segments[-1].moving
+
+    def sample(self, t: float, noise: Callable[[], float]) -> tuple[int, int, int]:
+        """An (x, y, z) sample in counts at time ``t``."""
+        x, y, z = 0.0, 0.0, float(GRAVITY_COUNTS)
+        if self.is_moving(t):
+            swing = self.walk_amplitude * math.sin(
+                2.0 * math.pi * self.walk_frequency_hz * t
+            )
+            bounce = 0.6 * self.walk_amplitude * math.sin(
+                4.0 * math.pi * self.walk_frequency_hz * t + 0.7
+            )
+            x += swing
+            z += bounce
+        return (
+            int(x + noise()),
+            int(y + noise()),
+            int(z + noise()),
+        )
+
+
+class Accelerometer:
+    """An I2C accelerometer serving samples from a motion profile.
+
+    Implements the :class:`repro.io.i2c.I2CDevice` protocol.  A read of
+    the first data register latches a fresh sample; subsequent register
+    reads within the same transaction return bytes of the latched
+    sample — matching how burst reads of real parts behave.
+    """
+
+    def __init__(self, sim: Simulator, profile: MotionProfile) -> None:
+        self.sim = sim
+        self.profile = profile
+        self._latched: tuple[int, int, int] = (0, 0, GRAVITY_COUNTS)
+        self.samples_served = 0
+
+    def _noise(self) -> float:
+        return self.sim.rng.gauss("accel-noise", 0.0, self.profile.noise_counts)
+
+    def read_register(self, register: int) -> int:
+        """Serve one register byte."""
+        if register == REG_XDATA_L:
+            self._latched = self.profile.sample(self.sim.now, self._noise)
+            self.samples_served += 1
+        if REG_XDATA_L <= register < REG_XDATA_L + 6:
+            axis, half = divmod(register - REG_XDATA_L, 2)
+            value = self._latched[axis] & 0xFFFF
+            return (value >> 8) if half else (value & 0xFF)
+        if register == REG_STATUS:
+            return 0x01  # data ready
+        return 0x00
+
+    def write_register(self, register: int, value: int) -> None:
+        """Configuration writes are accepted and ignored."""
+
+    @staticmethod
+    def decode_sample(data: bytes) -> tuple[int, int, int]:
+        """Unpack a 6-byte burst read into signed (x, y, z) counts."""
+        if len(data) != 6:
+            raise ValueError(f"expected 6 bytes, got {len(data)}")
+        out = []
+        for axis in range(3):
+            raw = data[2 * axis] | (data[2 * axis + 1] << 8)
+            out.append(raw - 0x10000 if raw & 0x8000 else raw)
+        return tuple(out)  # type: ignore[return-value]

@@ -1,0 +1,44 @@
+"""EDB: the Energy-interference-free Debugger.
+
+This package is the paper's contribution, built on the substrate
+packages (:mod:`repro.power`, :mod:`repro.mcu`, :mod:`repro.io`,
+:mod:`repro.analog`):
+
+- :mod:`repro.core.board` — the debugger board: ADC, connection
+  harness, charge/discharge circuit, tether, passive sampling.
+- :mod:`repro.core.monitor` — passive mode: concurrent energy, program
+  event, I/O, and RFID stream tracing.
+- :mod:`repro.core.active` — active mode: energy save/restore
+  (compensation) and continuous-power tethering.
+- :mod:`repro.core.breakpoints` — code, energy, and combined
+  breakpoints.
+- :mod:`repro.core.libedb` — the target-side library (assertions,
+  watchpoints, energy guards, printf) and its wire protocol
+  (:mod:`repro.core.protocol`).
+- :mod:`repro.core.session` / :mod:`repro.core.console` — interactive
+  debugging and the host console (Table 1's command set).
+- :mod:`repro.core.profiler` — watchpoint-based time/energy profiling.
+- :mod:`repro.core.emulation` — §4.2's intermittence emulation at
+  charge/discharge-cycle granularity.
+- :mod:`repro.core.debugger` — the :class:`EDB` facade users
+  instantiate.
+"""
+
+from repro.core.breakpoints import Breakpoint, BreakpointKind, BreakpointManager
+from repro.core.debugger import EDB
+from repro.core.emulation import EmulationResult, IntermittenceEmulator
+from repro.core.libedb import LibEDB
+from repro.core.profiler import EnergyProfiler
+from repro.core.session import InteractiveSession
+
+__all__ = [
+    "Breakpoint",
+    "BreakpointKind",
+    "BreakpointManager",
+    "EDB",
+    "EmulationResult",
+    "EnergyProfiler",
+    "InteractiveSession",
+    "IntermittenceEmulator",
+    "LibEDB",
+]

@@ -1,0 +1,194 @@
+"""Active mode: energy manipulation, compensation, and tethering (§3.2).
+
+The sequence for every active-mode task is the one the paper describes:
+
+1. *save* — measure and record the target's energy level (through
+   EDB's ADC, so the saved value carries quantisation error);
+2. *tether* — continuously power the target so the task can consume
+   arbitrary energy;
+3. run the task (debug protocol exchange, instrumentation, interactive
+   session — all while tethered);
+4. *restore* — untether and bring the capacitor back to the saved
+   level with the charge/discharge circuit.
+
+The restored level differs from the saved level by a small discrepancy
+``dE`` — Table 3's subject.  Two restore trims are provided:
+
+- ``trim_up=True``: discharge below the setpoint, then trim upward with
+  the fine charge path (whose filter dump leaves the level a few tens
+  of millivolts high) — the behaviour of the paper's prototype in the
+  Table 3 trials;
+- ``trim_up=False``: discharge-only, which lands a few millivolts low —
+  used for the high-rate compensation paths (printf, energy guards)
+  where a systematic upward bias would *feed* the target energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analog.charge_circuit import ChargeDischargeCircuit
+from repro.mcu.adc import Adc
+from repro.power.harvester import TetheredSupply
+from repro.power.supply import PowerSystem
+from repro.sim import units
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class SaveRestoreRecord:
+    """One completed save/restore cycle (one Table 3 trial)."""
+
+    saved_true_v: float  # oscilloscope view (exact simulation state)
+    saved_adc_v: float  # what EDB's ADC recorded
+    restored_true_v: float
+    restored_adc_v: float
+    capacitance: float
+
+    @property
+    def delta_v_true(self) -> float:
+        """Scope-measured ``V_restored - V_saved`` (volts)."""
+        return self.restored_true_v - self.saved_true_v
+
+    @property
+    def delta_v_adc(self) -> float:
+        """ADC-measured ``V_restored - V_saved`` (volts)."""
+        return self.restored_adc_v - self.saved_adc_v
+
+    def delta_e(self, true_values: bool = True) -> float:
+        """Energy discrepancy ``1/2 C (Vr^2 - Vs^2)`` in joules."""
+        if true_values:
+            vr, vs = self.restored_true_v, self.saved_true_v
+        else:
+            vr, vs = self.restored_adc_v, self.saved_adc_v
+        return 0.5 * self.capacitance * (vr * vr - vs * vs)
+
+    def delta_e_percent(
+        self, vmax: float = 2.4, true_values: bool = True
+    ) -> float:
+        """Discrepancy as a percentage of the full storage capacity."""
+        full = units.cap_energy(self.capacitance, vmax)
+        return 100.0 * self.delta_e(true_values) / full
+
+
+class EnergyStateManager:
+    """Save/tether/restore bookkeeping for active-mode tasks.
+
+    Nesting is supported (an assert can fire inside an energy guard):
+    only the outermost save/restore touches the hardware; inner levels
+    piggyback on the existing tether.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        power: PowerSystem,
+        adc: Adc,
+        circuit: ChargeDischargeCircuit,
+        tether_voltage: float = 2.5,
+    ) -> None:
+        self.sim = sim
+        self.power = power
+        self.adc = adc
+        self.circuit = circuit
+        self.tether_supply = TetheredSupply(voltage=tether_voltage)
+        self.records: list[SaveRestoreRecord] = []
+        self._stack: list[tuple[float, float]] = []  # (true_v, adc_v)
+        self.tether_time_total = 0.0
+        self._tether_started: float | None = None
+        # Set by keep_alive(): the target is halted for inspection and
+        # must stay tethered even as enclosing active-task brackets
+        # (e.g. an energy guard the assert fired inside) unwind.
+        self.keep_alive_active = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Current active-task nesting depth (0 = passive)."""
+        return len(self._stack)
+
+    @property
+    def in_active_task(self) -> bool:
+        """True while the target runs on tethered power."""
+        return bool(self._stack)
+
+    # -- the active-mode bracket ---------------------------------------------
+    def begin_task(self) -> float:
+        """Save the energy level and tether the target.
+
+        Returns the ADC-recorded saved voltage.
+        """
+        true_v = self.power.vcap
+        adc_v = self.adc.measure(true_v)
+        self._stack.append((true_v, adc_v))
+        if len(self._stack) == 1:
+            self.power.tether(self.tether_supply)
+            self._tether_started = self.sim.now
+            self.sim.trace.record("edb.active_begin", adc_v)
+            # The stiff supply brings the rail up within microseconds.
+            self.sim.advance(50 * units.US)
+            self.power.step(50 * units.US)
+        return adc_v
+
+    def end_task(self, trim_up: bool = False) -> SaveRestoreRecord | None:
+        """Restore the saved level and untether (outermost level only).
+
+        Returns the :class:`SaveRestoreRecord` when this call actually
+        performed a restore, ``None`` for nested exits.
+        """
+        if not self._stack:
+            raise RuntimeError("end_task() without a matching begin_task()")
+        true_v, adc_v = self._stack.pop()
+        if self._stack:
+            return None
+        if self.keep_alive_active:
+            # A failed assert fired inside this bracket: the unwind
+            # must not drop the keep-alive tether or disturb the frozen
+            # energy state.  release() ends the session later.
+            return None
+        self.power.untether()
+        if self._tether_started is not None:
+            self.tether_time_total += self.sim.now - self._tether_started
+            self._tether_started = None
+        if trim_up:
+            self.circuit.restore_to(adc_v)
+        else:
+            self.circuit.discharge_to(adc_v)
+        restored_true = self.power.vcap
+        restored_adc = self.adc.measure(restored_true)
+        record = SaveRestoreRecord(
+            saved_true_v=true_v,
+            saved_adc_v=adc_v,
+            restored_true_v=restored_true,
+            restored_adc_v=restored_adc,
+            capacitance=self.power.capacitor.capacitance,
+        )
+        self.records.append(record)
+        self.sim.trace.record("edb.active_end", restored_adc)
+        return record
+
+    # -- keep-alive (assert failure) --------------------------------------------
+    def keep_alive(self) -> None:
+        """Tether *without* planning a restore: the paper's keep-alive.
+
+        Used on assertion failure — the whole point is to freeze the
+        device's state for live inspection, not to resume execution.
+        Once active, enclosing bracket unwinds (an energy guard the
+        assert fired inside) leave the tether in place.
+        """
+        self.keep_alive_active = True
+        if not self.power.is_tethered:
+            self.power.tether(self.tether_supply)
+            self._tether_started = self.sim.now
+            self.sim.trace.record("edb.keep_alive", self.power.vcap)
+            self.sim.advance(50 * units.US)
+            self.power.step(50 * units.US)
+
+    def release(self) -> None:
+        """Drop an unconditional tether (end of a keep-alive session)."""
+        self.keep_alive_active = False
+        self.power.untether()
+        if self._tether_started is not None:
+            self.tether_time_total += self.sim.now - self._tether_started
+            self._tether_started = None
+        self._stack.clear()

@@ -1,0 +1,144 @@
+"""Code, energy, and combined breakpoints (§3.3.1).
+
+Three trigger conditions:
+
+- **code**: a marked code point executes;
+- **energy**: the target's capacitor voltage falls to or below a
+  threshold (checked by the passive sampler, so it can fire anywhere in
+  the program — including while the target is mid-computation);
+- **combined**: a marked code point executes *while* the energy level
+  is at or below the threshold — the primitive the paper highlights for
+  catching "problematic iterations when more energy was consumed than
+  expected or when the device is about to brown out".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class BreakpointKind(enum.Enum):
+    """Trigger class of a breakpoint."""
+
+    CODE = "code"
+    ENERGY = "energy"
+    COMBINED = "combined"
+
+
+@dataclass
+class Breakpoint:
+    """One breakpoint registration."""
+
+    kind: BreakpointKind
+    breakpoint_id: int | None = None  # code point id (CODE / COMBINED)
+    energy_threshold: float | None = None  # volts (ENERGY / COMBINED)
+    enabled: bool = True
+    hits: int = 0
+    one_shot: bool = False
+
+    def __post_init__(self) -> None:
+        needs_id = self.kind in (BreakpointKind.CODE, BreakpointKind.COMBINED)
+        needs_energy = self.kind in (BreakpointKind.ENERGY, BreakpointKind.COMBINED)
+        if needs_id and self.breakpoint_id is None:
+            raise ValueError(f"{self.kind.value} breakpoint needs a code point id")
+        if needs_energy and self.energy_threshold is None:
+            raise ValueError(f"{self.kind.value} breakpoint needs a threshold")
+
+    def describe(self) -> str:
+        """Console-friendly one-liner."""
+        parts = [self.kind.value]
+        if self.breakpoint_id is not None:
+            parts.append(f"id={self.breakpoint_id}")
+        if self.energy_threshold is not None:
+            parts.append(f"below={self.energy_threshold:.2f}V")
+        parts.append("enabled" if self.enabled else "disabled")
+        parts.append(f"hits={self.hits}")
+        return " ".join(parts)
+
+
+@dataclass
+class BreakpointManager:
+    """Registration and trigger evaluation for all breakpoint kinds."""
+
+    breakpoints: list[Breakpoint] = field(default_factory=list)
+
+    # -- registration (Table 1: break en|dis id [energy level]) ------------
+    def add_code(self, breakpoint_id: int, one_shot: bool = False) -> Breakpoint:
+        """Register a conventional code breakpoint."""
+        bp = Breakpoint(
+            BreakpointKind.CODE, breakpoint_id=breakpoint_id, one_shot=one_shot
+        )
+        self.breakpoints.append(bp)
+        return bp
+
+    def add_energy(self, threshold_v: float, one_shot: bool = False) -> Breakpoint:
+        """Register an energy breakpoint at ``threshold_v`` volts."""
+        bp = Breakpoint(
+            BreakpointKind.ENERGY, energy_threshold=threshold_v, one_shot=one_shot
+        )
+        self.breakpoints.append(bp)
+        return bp
+
+    def add_combined(
+        self, breakpoint_id: int, threshold_v: float, one_shot: bool = False
+    ) -> Breakpoint:
+        """Register a combined code+energy breakpoint."""
+        bp = Breakpoint(
+            BreakpointKind.COMBINED,
+            breakpoint_id=breakpoint_id,
+            energy_threshold=threshold_v,
+            one_shot=one_shot,
+        )
+        self.breakpoints.append(bp)
+        return bp
+
+    def set_enabled(self, breakpoint_id: int, enabled: bool) -> int:
+        """Enable/disable every breakpoint with the given code id.
+
+        Returns the number of breakpoints affected.
+        """
+        count = 0
+        for bp in self.breakpoints:
+            if bp.breakpoint_id == breakpoint_id:
+                bp.enabled = enabled
+                count += 1
+        return count
+
+    def remove(self, bp: Breakpoint) -> None:
+        """Deregister a breakpoint (no-op if absent)."""
+        if bp in self.breakpoints:
+            self.breakpoints.remove(bp)
+
+    # -- trigger evaluation ----------------------------------------------------
+    def check_code_point(self, breakpoint_id: int, vcap: float) -> Breakpoint | None:
+        """First triggering breakpoint for an executing code point."""
+        for bp in self.breakpoints:
+            if not bp.enabled or bp.breakpoint_id != breakpoint_id:
+                continue
+            if bp.kind is BreakpointKind.CODE:
+                return self._fire(bp)
+            if bp.kind is BreakpointKind.COMBINED and vcap <= bp.energy_threshold:
+                return self._fire(bp)
+        return None
+
+    def check_energy(self, vcap: float) -> Breakpoint | None:
+        """First triggering pure-energy breakpoint at voltage ``vcap``."""
+        for bp in self.breakpoints:
+            if (
+                bp.enabled
+                and bp.kind is BreakpointKind.ENERGY
+                and vcap <= bp.energy_threshold
+            ):
+                return self._fire(bp)
+        return None
+
+    def _fire(self, bp: Breakpoint) -> Breakpoint:
+        bp.hits += 1
+        if bp.one_shot:
+            bp.enabled = False
+        return bp
+
+    def active(self) -> list[Breakpoint]:
+        """All currently enabled breakpoints."""
+        return [bp for bp in self.breakpoints if bp.enabled]

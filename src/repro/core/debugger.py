@@ -1,0 +1,159 @@
+"""The developer-facing EDB facade.
+
+Wraps the board, monitor, breakpoints, energy manipulation, and libEDB
+into the object a user of this library instantiates::
+
+    sim = Simulator(seed=7)
+    power = make_wisp_power_system(sim)
+    target = TargetDevice(sim, power)
+    edb = EDB(sim, target)
+
+    edb.trace("energy")
+    edb.trace("watchpoints")
+    executor = IntermittentExecutor(sim, target, app, edb=edb.libedb())
+    result = executor.run(duration=2.0)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.active import SaveRestoreRecord
+from repro.core.board import BreakEvent, EDBBoard
+from repro.core.breakpoints import Breakpoint, BreakpointManager
+from repro.core.libedb import LibEDB
+from repro.core.monitor import PassiveMonitor
+from repro.core.session import InteractiveSession
+from repro.mcu.device import TargetDevice
+from repro.sim import units
+from repro.sim.kernel import Simulator
+
+
+class EDB:
+    """One debugger attached to one target device.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    device:
+        The target to attach to.
+    sample_rate:
+        Passive energy-monitoring rate in Hz.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: TargetDevice,
+        sample_rate: float = 4 * units.KHZ,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.board = EDBBoard(sim, sample_rate=sample_rate)
+        self.board.attach(device)
+        self.board.set_session_factory(
+            lambda event: InteractiveSession(self.board, event)
+        )
+        self._libedb: LibEDB | None = None
+
+    # -- linking the target-side library ----------------------------------
+    def libedb(self) -> LibEDB:
+        """The target-side library to link into the application."""
+        if self._libedb is None:
+            self._libedb = LibEDB(self.device, self.board)
+        return self._libedb
+
+    # -- passive mode -----------------------------------------------------------
+    @property
+    def monitor(self) -> PassiveMonitor:
+        """The passive-mode stream monitor."""
+        assert self.board.monitor is not None
+        return self.board.monitor
+
+    def trace(self, stream: str) -> None:
+        """Console ``trace`` command: enable one passive stream."""
+        self.monitor.enable(stream)
+
+    def untrace(self, stream: str) -> None:
+        """Disable one passive stream."""
+        self.monitor.disable(stream)
+
+    @property
+    def printf_output(self) -> list[tuple[float, str]]:
+        """All printf text received from the target, with timestamps."""
+        return self.board.printf_log
+
+    # -- breakpoints ----------------------------------------------------------------
+    @property
+    def breakpoints(self) -> BreakpointManager:
+        """The breakpoint registry."""
+        return self.board.breakpoints
+
+    def break_at(self, breakpoint_id: int, one_shot: bool = False) -> Breakpoint:
+        """Arm a code breakpoint for ``BREAKPOINT(id)`` sites."""
+        return self.breakpoints.add_code(breakpoint_id, one_shot=one_shot)
+
+    def break_on_energy(self, threshold_v: float, one_shot: bool = False) -> Breakpoint:
+        """Arm an energy breakpoint at ``threshold_v`` volts."""
+        bp = self.breakpoints.add_energy(threshold_v, one_shot=one_shot)
+        self.board.arm_energy_sampling()
+        return bp
+
+    def break_combined(
+        self, breakpoint_id: int, threshold_v: float, one_shot: bool = False
+    ) -> Breakpoint:
+        """Arm a combined code+energy breakpoint."""
+        return self.breakpoints.add_combined(
+            breakpoint_id, threshold_v, one_shot=one_shot
+        )
+
+    def on_break(self, handler: Callable[[BreakEvent, InteractiveSession], None]):
+        """Install the handler invoked when the target stops."""
+        self.board.on_break = handler
+
+    def on_assert(self, handler: Callable[[BreakEvent, InteractiveSession], None]):
+        """Install the handler for keep-alive assertion failures."""
+        self.board.on_assert = handler
+
+    def on_printf(self, handler: Callable[[str], None]) -> None:
+        """Install a live listener for printf output."""
+        self.board.on_printf = handler
+
+    # -- active mode / energy manipulation ----------------------------------------------
+    def charge(self, voltage: float) -> float:
+        """Console ``charge``: raise the target's stored energy."""
+        return self.board.charge_target(voltage)
+
+    def discharge(self, voltage: float) -> float:
+        """Console ``discharge``: lower the target's stored energy."""
+        return self.board.discharge_target(voltage)
+
+    @property
+    def save_restore_records(self) -> list[SaveRestoreRecord]:
+        """Every completed save/restore bracket (Table 3's raw data)."""
+        assert self.board.energy is not None
+        return self.board.energy.records
+
+    def release(self) -> None:
+        """Drop a keep-alive tether (end of a post-assert session)."""
+        assert self.board.energy is not None
+        self.board.energy.release()
+
+    @property
+    def is_tethered(self) -> bool:
+        """True while the target runs on EDB's continuous supply."""
+        return self.device.power.is_tethered
+
+    # -- characterisation -------------------------------------------------------------
+    def interference_report(self, trials: int = 50) -> dict:
+        """Per-connection worst-case leakage (the Table 2 sweep)."""
+        return self.board.harness.characterise(trials=trials)
+
+    def worst_case_interference(self, trials: int = 50) -> float:
+        """Total worst-case interference current in amperes."""
+        return self.board.harness.worst_case_total(trials=trials)
+
+    def detach(self) -> None:
+        """Physically disconnect from the target."""
+        self.board.detach()

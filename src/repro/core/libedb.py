@@ -1,0 +1,165 @@
+"""libEDB: the target-side half of the debugger (§4.2, Table 1).
+
+The C original is a 1200-line library statically linked into the
+application, exporting macros for assertions, breakpoints, watchpoints,
+energy guards, and printf, plus the target-side protocol routines for
+reading and writing target memory.  This class is its counterpart:
+every entry point costs target cycles exactly where the C would, and
+everything heavyweight happens *after* the board has tethered the
+target, so the application pays only:
+
+- one GPIO pulse per watchpoint (§4.1.3: "practically
+  energy-interference-free"),
+- a couple of cycles per passing assert / disabled breakpoint check,
+- the restore discrepancy per active-mode bracket (Table 3 / 4).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.core.board import EDBBoard
+from repro.core.protocol import Decoder, Message, MsgType, encode
+from repro.mcu.device import TargetDevice
+
+# Cycle costs of the target-side entry points (C-with-macros scale).
+CYCLES_ATTENTION = 4  # raise the debug GPIO line + handshake
+CYCLES_ASSERT_CHECK = 2  # evaluate expr + conditional branch
+CYCLES_BREAKPOINT_CHECK = 3  # read the debugger-driven enable line
+CYCLES_PER_FORMAT_CHAR = 10  # printf formatting, per output character
+CYCLES_SERVICE_PARSE = 24  # parse one host request frame
+CYCLES_PER_MEM_WORD = 4  # memory copy during read/write service
+
+
+class LibEDB:
+    """Target-side EDB library, linked into one application.
+
+    Parameters
+    ----------
+    device:
+        The target the application runs on.
+    board:
+        The attached debugger board.
+    """
+
+    def __init__(self, device: TargetDevice, board: EDBBoard) -> None:
+        if board.device is not device:
+            raise ValueError("board must be attached to the same device")
+        self.device = device
+        self.board = board
+        self._rx_decoder = Decoder()
+        self.asserts_evaluated = 0
+        self.printfs_sent = 0
+        board.libedb = self
+
+    # -- program-event monitoring -------------------------------------------
+    def watchpoint(self, marker_id: int) -> None:
+        """``WATCHPOINT(id)``: one-cycle GPIO encoding of the id."""
+        self.device.code_marker(marker_id)
+
+    # -- energy-interference-free printf ----------------------------------------
+    def printf(self, text: str) -> None:
+        """``EDB_PRINTF(...)``: stream text to the host console.
+
+        The target raises attention (cheap), the board tethers it, the
+        formatting and UART transfer run on tethered power, and the
+        board restores the saved energy level afterwards.
+        """
+        self.device.execute_cycles(CYCLES_ATTENTION)
+        self.device.debug_signal.drive(True)
+        self.board.begin_printf()
+        try:
+            self.device.execute_cycles(CYCLES_PER_FORMAT_CHAR * max(1, len(text)))
+            self.device.debug_uart.transmit(encode(Message.printf(text)))
+            self.printfs_sent += 1
+        finally:
+            self.device.debug_signal.drive(False)
+            self.board.end_printf()
+
+    # -- keep-alive assertions ------------------------------------------------------
+    def assert_(self, condition: bool, message: str = "", assert_id: int = 0) -> None:
+        """``ASSERT(expr)``: free when passing, keep-alive when failing.
+
+        On failure the debug line goes up, the board tethers the target
+        before it can brown out, the failure notification goes over the
+        (now free) debug link, and the board opens an interactive
+        session and halts the target — raising
+        :class:`~repro.runtime.executor.AssertionHaltSignal` through
+        the application.
+        """
+        self.device.execute_cycles(CYCLES_ASSERT_CHECK)
+        self.asserts_evaluated += 1
+        if condition:
+            return
+        self.device.debug_signal.drive(True)
+        self.board.signal_attention()  # keep-alive: tether *first*
+        self.device.debug_uart.transmit(
+            encode(Message.assert_fail(assert_id, message))
+        )
+
+    # -- energy guards ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def energy_guard(self) -> Iterator[None]:
+        """``ENERGY_GUARD { ... }``: hide the enclosed code's energy cost."""
+        self.device.execute_cycles(CYCLES_ATTENTION)
+        self.device.debug_signal.drive(True)
+        self.board.begin_energy_guard()
+        self.device.debug_uart.transmit(encode(Message(MsgType.GUARD_BEGIN)))
+        try:
+            yield
+        finally:
+            self.device.debug_uart.transmit(encode(Message(MsgType.GUARD_END)))
+            self.device.debug_signal.drive(False)
+            self.board.end_energy_guard()
+
+    # -- breakpoints -----------------------------------------------------------------------
+    def code_breakpoint(self, breakpoint_id: int) -> None:
+        """``BREAKPOINT(id)``: near-free when disabled, full service when hit."""
+        self.device.execute_cycles(CYCLES_BREAKPOINT_CHECK)
+        bp = self.board.check_code_breakpoint(breakpoint_id)
+        if bp is None:
+            return
+        self.device.debug_signal.drive(True)
+        try:
+            self.board.service_breakpoint(bp)
+        finally:
+            self.device.debug_signal.drive(False)
+
+    # -- host-request servicing (runs while tethered) ------------------------------------------
+    def service_request(self, message: Message) -> None:
+        """Execute one host request (memory read/write) target-side.
+
+        The host encodes the request onto the debug UART; the target
+        receives, parses, performs the access, and replies — all costed
+        against the target (which is tethered whenever this runs).
+        """
+        frame = encode(message)
+        self.device.debug_uart.feed_rx(frame)
+        raw = self.device.debug_uart.receive(len(frame))
+        for request in self._rx_decoder.feed(raw):
+            self._handle_request(request)
+
+    def _handle_request(self, request: Message) -> None:
+        self.device.execute_cycles(CYCLES_SERVICE_PARSE)
+        if request.type is MsgType.READ_MEM:
+            address = request.decode_address()
+            count = request.payload[2]
+            self.device.execute_cycles(CYCLES_PER_MEM_WORD * max(1, count // 2))
+            data = self.device.memory.read_bytes(address, count)
+            self.device.debug_uart.transmit(encode(Message.mem_data(data)))
+        elif request.type is MsgType.WRITE_MEM:
+            address = request.decode_address()
+            data = request.payload[2:]
+            self.device.execute_cycles(CYCLES_PER_MEM_WORD * max(1, len(data) // 2))
+            self.device.memory.write_bytes(address, data)
+            self.device.debug_uart.transmit(encode(Message(MsgType.ACK)))
+        elif request.type is MsgType.GET_PC:
+            pc = self.device.cpu.pc
+            self.device.debug_uart.transmit(
+                encode(Message(MsgType.PC_VALUE, bytes([pc & 0xFF, pc >> 8])))
+            )
+        elif request.type is MsgType.RESUME:
+            self.device.debug_uart.transmit(encode(Message(MsgType.ACK)))
+        else:
+            raise ValueError(f"target cannot service message type {request.type!r}")

@@ -1,0 +1,193 @@
+"""Watchpoint-based time & energy profiling (the §5.3.3 methodology).
+
+The paper derives "a time and energy profile of a loop iteration ...
+from the difference between energy level snapshots taken by
+watchpoints".  :class:`EnergyProfiler` packages that methodology: name
+a region by its start/end watchpoint ids, and get per-occurrence energy
+and latency samples, summary statistics, and terminal-friendly
+histogram/CDF renderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.monitor import PassiveMonitor
+from repro.sim import units
+
+
+@dataclass(frozen=True)
+class RegionStats:
+    """Summary statistics of one profiled region."""
+
+    label: str
+    count: int
+    energy_mean_j: float
+    energy_median_j: float
+    energy_p90_j: float
+    time_mean_s: float
+    time_median_s: float
+
+    def energy_percent(self, full_energy_j: float) -> float:
+        """Median energy as a percentage of the full store."""
+        return 100.0 * self.energy_median_j / full_energy_j
+
+    def render(self, full_energy_j: float | None = None) -> str:
+        """One summary line."""
+        pct = (
+            f" ({self.energy_percent(full_energy_j):.2f}% of store)"
+            if full_energy_j
+            else ""
+        )
+        return (
+            f"{self.label}: n={self.count}, "
+            f"energy median {self.energy_median_j / units.UJ:.2f} uJ"
+            f"{pct}, p90 {self.energy_p90_j / units.UJ:.2f} uJ, "
+            f"time median {self.time_median_s * 1e3:.2f} ms"
+        )
+
+
+def _percentile(ordered: list[float], fraction: float) -> float:
+    if not ordered:
+        raise ValueError("no samples")
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+class EnergyProfiler:
+    """Profiles watchpoint-delimited regions of an intermittent program.
+
+    Parameters
+    ----------
+    monitor:
+        The passive monitor collecting watchpoint hits (enable the
+        ``watchpoints`` stream before running the workload).
+    capacitance:
+        The target's storage capacitance (energy conversion).
+    full_energy:
+        The full-store reference for percentage reporting.
+    """
+
+    def __init__(
+        self,
+        monitor: PassiveMonitor,
+        capacitance: float,
+        full_energy: float | None = None,
+    ) -> None:
+        self.monitor = monitor
+        self.capacitance = capacitance
+        self.full_energy = full_energy
+        self._regions: dict[str, tuple[int, int]] = {}
+
+    def define_region(self, label: str, start_id: int, end_id: int) -> None:
+        """Name the region between two watchpoint ids.
+
+        Use ``start_id == end_id`` for whole-iteration profiling.
+        """
+        if label in self._regions:
+            raise ValueError(f"region {label!r} already defined")
+        self._regions[label] = (start_id, end_id)
+
+    def regions(self) -> list[str]:
+        """All defined region labels."""
+        return sorted(self._regions)
+
+    # -- sample extraction --------------------------------------------------
+    def energy_samples(self, label: str) -> list[float]:
+        """Per-occurrence energy cost of a region, in joules."""
+        start_id, end_id = self._lookup(label)
+        return self.monitor.energy_between(start_id, end_id, self.capacitance)
+
+    def time_samples(self, label: str) -> list[float]:
+        """Per-occurrence latency of a region, in seconds.
+
+        Pairs are matched the same way as energies; occurrences cut by
+        a reboot are dropped.
+        """
+        start_id, end_id = self._lookup(label)
+        starts = self.monitor.watchpoint_stats(start_id).times
+        if start_id == end_id:
+            return [
+                b - a for a, b in zip(starts, starts[1:]) if 0 < b - a < 1.0
+            ]
+        ends = self.monitor.watchpoint_stats(end_id).times
+        samples = []
+        end_index = 0
+        for i, t_start in enumerate(starts):
+            next_start = starts[i + 1] if i + 1 < len(starts) else float("inf")
+            while end_index < len(ends) and ends[end_index] <= t_start:
+                end_index += 1
+            if end_index >= len(ends):
+                break
+            t_end = ends[end_index]
+            if t_end < next_start:
+                samples.append(t_end - t_start)
+        return samples
+
+    def _lookup(self, label: str) -> tuple[int, int]:
+        try:
+            return self._regions[label]
+        except KeyError:
+            raise KeyError(
+                f"no region {label!r}; have {self.regions()}"
+            ) from None
+
+    # -- statistics -----------------------------------------------------------
+    def stats(self, label: str) -> RegionStats:
+        """Summary statistics for one region."""
+        energies = sorted(self.energy_samples(label))
+        times = sorted(self.time_samples(label))
+        if not energies or not times:
+            raise ValueError(f"region {label!r} has no complete occurrences")
+        return RegionStats(
+            label=label,
+            count=len(energies),
+            energy_mean_j=sum(energies) / len(energies),
+            energy_median_j=_percentile(energies, 0.5),
+            energy_p90_j=_percentile(energies, 0.9),
+            time_mean_s=sum(times) / len(times),
+            time_median_s=_percentile(times, 0.5),
+        )
+
+    def cdf(self, label: str, points: int = 20) -> list[tuple[float, float]]:
+        """The region's energy CDF: ``[(energy_j, P), ...]``."""
+        samples = sorted(self.energy_samples(label))
+        if not samples:
+            return []
+        lo, hi = samples[0], samples[-1]
+        span = hi - lo or 1e-12
+        out = []
+        for i in range(points + 1):
+            x = lo + span * i / points
+            p = sum(1 for s in samples if s <= x) / len(samples)
+            out.append((x, p))
+        return out
+
+    def histogram(self, label: str, bins: int = 10, width: int = 40) -> str:
+        """An ASCII energy histogram of a region."""
+        samples = self.energy_samples(label)
+        if not samples:
+            return "(no samples)"
+        lo, hi = min(samples), max(samples)
+        span = (hi - lo) or 1e-12
+        counts = [0] * bins
+        for s in samples:
+            index = min(bins - 1, int((s - lo) / span * bins))
+            counts[index] += 1
+        peak = max(counts)
+        lines = []
+        for i, count in enumerate(counts):
+            left = lo + span * i / bins
+            bar = "#" * int(width * count / peak) if peak else ""
+            lines.append(f"{left / units.UJ:8.2f} uJ | {bar} {count}")
+        return "\n".join(lines)
+
+    def report(self) -> str:
+        """Summary lines for every defined region with samples."""
+        lines = []
+        for label in self.regions():
+            try:
+                lines.append(self.stats(label).render(self.full_energy))
+            except ValueError:
+                lines.append(f"{label}: (no complete occurrences)")
+        return "\n".join(lines)

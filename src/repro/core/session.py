@@ -1,0 +1,104 @@
+"""Interactive debugging sessions (§3.3.4).
+
+A session is opened automatically when a breakpoint is hit or an
+assertion fails, or on demand from the console.  While a session is
+open the target is tethered, so the host can take as long as it likes:
+every access still executes target-side protocol code, but on
+continuous power.
+
+Sessions are plain objects so they can be driven three ways: by the
+interactive console, by scripted handlers in tests and benchmarks, and
+by the examples.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.board import BreakEvent, EDBBoard
+
+
+class InteractiveSession:
+    """Full access to a stopped (tethered) target.
+
+    Parameters
+    ----------
+    board:
+        The debugger board the session runs through.
+    event:
+        Why the session opened (breakpoint / assert / console).
+    """
+
+    def __init__(self, board: "EDBBoard", event: "BreakEvent") -> None:
+        self.board = board
+        self.event = event
+        self.transcript: list[str] = []
+        self.log(
+            f"[{event.time * 1e3:.3f} ms] session opened: {event.reason}"
+            + (f" ({event.message})" if event.message else "")
+        )
+
+    def log(self, line: str) -> None:
+        """Append a line to the session transcript."""
+        self.transcript.append(line)
+
+    # -- target state access -------------------------------------------------
+    def read_bytes(self, address: int, count: int) -> bytes:
+        """Read raw target memory over the debug link."""
+        data = self.board.read_target_memory(address, count)
+        self.log(f"read 0x{address:04X} x{count} -> {data.hex()}")
+        return data
+
+    def read_u16(self, address: int) -> int:
+        """Read one little-endian word of target memory."""
+        data = self.board.read_target_memory(address, 2)
+        value = data[0] | (data[1] << 8)
+        self.log(f"read 0x{address:04X} -> 0x{value:04X}")
+        return value
+
+    def write_u16(self, address: int, value: int) -> None:
+        """Write one little-endian word of target memory."""
+        self.board.write_target_memory(
+            address, bytes([value & 0xFF, (value >> 8) & 0xFF])
+        )
+        self.log(f"write 0x{address:04X} <- 0x{value:04X}")
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        """Write raw target memory."""
+        self.board.write_target_memory(address, data)
+        self.log(f"write 0x{address:04X} x{len(data)}")
+
+    # -- energy state -----------------------------------------------------------
+    def vcap(self) -> float:
+        """The target's capacitor voltage as EDB's ADC reads it."""
+        device = self.board.device
+        assert device is not None
+        value = self.board.adc.measure(device.power.vcap)
+        self.log(f"vcap -> {value:.3f} V")
+        return value
+
+    def charge(self, voltage: float) -> float:
+        """Manually raise the stored energy (console ``charge``)."""
+        result = self.board.charge_target(voltage)
+        self.log(f"charge -> {result:.3f} V")
+        return result
+
+    def discharge(self, voltage: float) -> float:
+        """Manually lower the stored energy (console ``discharge``)."""
+        result = self.board.discharge_target(voltage)
+        self.log(f"discharge -> {result:.3f} V")
+        return result
+
+    # -- ISA-mode extras -------------------------------------------------------------
+    def registers(self) -> list[int]:
+        """The target CPU's register file (ISA programs)."""
+        device = self.board.device
+        assert device is not None
+        values = list(device.cpu.registers)
+        self.log(f"registers -> {[hex(v) for v in values[:4]]}...")
+        return values
+
+    def render(self) -> str:
+        """The transcript as one printable block."""
+        return "\n".join(self.transcript)

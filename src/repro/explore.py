@@ -1,0 +1,195 @@
+"""Design-space exploration for energy-harvesting applications.
+
+The paper's related work (§6.1) describes CCTS, a simulator "useful for
+exploring the design space for a new energy-harvesting application" —
+what capacitor, what range, what duty cycle.  This module provides that
+exploration over our power models: sweep capacitor sizes and reader
+distances, and characterise each operating point by
+
+- charge time (dark, to the turn-on threshold),
+- discharge time under a given active load,
+- duty cycle and charge/discharge cycles per second,
+- usable work per cycle (in MCU cycles and in joules).
+
+The numbers come from running the actual electrical models, not closed
+forms, so they respect the RC charging law and the load/harvest
+interaction (including operating points that never brown out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.capacitor import StorageCapacitor
+from repro.power.harvester import RFHarvester
+from repro.power.regulator import LinearRegulator
+from repro.power.supply import ChargingTimeout, PowerSystem
+from repro.power.wisp import WispPowerConstants
+from repro.sim import units
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One characterised (capacitance, distance, load) point."""
+
+    capacitance: float
+    distance_m: float
+    load_current: float
+    charge_time_s: float
+    discharge_time_s: float | None  # None: never browns out (sustained)
+    work_per_cycle_cycles: int | None
+    work_per_cycle_j: float | None
+
+    @property
+    def sustained(self) -> bool:
+        """True when harvest covers the load indefinitely."""
+        return self.discharge_time_s is None
+
+    @property
+    def duty_cycle(self) -> float:
+        """Active fraction of each charge/discharge period (1.0 if sustained)."""
+        if self.sustained:
+            return 1.0
+        total = self.charge_time_s + self.discharge_time_s
+        return self.discharge_time_s / total if total > 0 else 0.0
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Charge/discharge cycles per second (0 if sustained)."""
+        if self.sustained:
+            return 0.0
+        return 1.0 / (self.charge_time_s + self.discharge_time_s)
+
+
+class DesignSpaceExplorer:
+    """Sweeps power-system parameters and characterises each point.
+
+    Parameters
+    ----------
+    constants:
+        Baseline device constants (thresholds, clock); capacitance is
+        overridden per point.
+    max_discharge_time:
+        Give up calling a point intermittent after this long on a
+        single discharge (it is effectively sustained).
+    """
+
+    def __init__(
+        self,
+        constants: WispPowerConstants | None = None,
+        max_discharge_time: float = 2.0,
+    ) -> None:
+        self.constants = constants or WispPowerConstants()
+        self.max_discharge_time = max_discharge_time
+
+    def characterise(
+        self,
+        capacitance: float,
+        distance_m: float,
+        load_current: float | None = None,
+    ) -> OperatingPoint:
+        """Measure one operating point by simulating it."""
+        c = self.constants
+        load = (
+            load_current
+            if load_current is not None
+            else c.active_current + c.system_current
+        )
+        sim = Simulator(seed=99)
+        power = PowerSystem(
+            sim,
+            RFHarvester(
+                tx_power_dbm=c.reader_tx_power_dbm, distance_m=distance_m
+            ),
+            StorageCapacitor(
+                capacitance, voltage=c.brownout_voltage, max_voltage=3.3
+            ),
+            LinearRegulator(),
+            turn_on_voltage=c.turn_on_voltage,
+            brownout_voltage=c.brownout_voltage,
+        )
+        try:
+            charge_time = power.charge_until_on(timeout=30.0)
+        except ChargingTimeout:
+            return OperatingPoint(
+                capacitance=capacitance,
+                distance_m=distance_m,
+                load_current=load,
+                charge_time_s=float("inf"),
+                discharge_time_s=None,
+                work_per_cycle_cycles=None,
+                work_per_cycle_j=None,
+            )
+        # Discharge under constant load, tracking delivered work.
+        step = 50 * units.US
+        start = sim.now
+        energy = 0.0
+        while power.is_on:
+            if sim.now - start > self.max_discharge_time:
+                return OperatingPoint(
+                    capacitance=capacitance,
+                    distance_m=distance_m,
+                    load_current=load,
+                    charge_time_s=charge_time,
+                    discharge_time_s=None,
+                    work_per_cycle_cycles=None,
+                    work_per_cycle_j=None,
+                )
+            sim.advance(step)
+            energy += load * power.vreg * step
+            power.step(step, load_current=load)
+        discharge_time = sim.now - start
+        return OperatingPoint(
+            capacitance=capacitance,
+            distance_m=distance_m,
+            load_current=load,
+            charge_time_s=charge_time,
+            discharge_time_s=discharge_time,
+            work_per_cycle_cycles=int(discharge_time * c.clock_hz),
+            work_per_cycle_j=energy,
+        )
+
+    def sweep(
+        self,
+        capacitances: list[float],
+        distances: list[float],
+        load_current: float | None = None,
+    ) -> list[OperatingPoint]:
+        """Characterise the full cross product."""
+        return [
+            self.characterise(c, d, load_current)
+            for c in capacitances
+            for d in distances
+        ]
+
+    @staticmethod
+    def render_table(points: list[OperatingPoint]) -> str:
+        """A fixed-width report of a sweep."""
+        lines = [
+            "cap_uF  dist_m  charge_ms  discharge_ms  duty%  cyc/s  "
+            "work_kcycles  work_uJ"
+        ]
+        for p in points:
+            if p.charge_time_s == float("inf"):
+                lines.append(
+                    f"{p.capacitance / units.UF:6.1f}  {p.distance_m:6.2f}  "
+                    "   (cannot reach turn-on at this range)"
+                )
+                continue
+            if p.sustained:
+                lines.append(
+                    f"{p.capacitance / units.UF:6.1f}  {p.distance_m:6.2f}  "
+                    f"{p.charge_time_s * 1e3:9.1f}  "
+                    "   sustained (never browns out)"
+                )
+                continue
+            lines.append(
+                f"{p.capacitance / units.UF:6.1f}  {p.distance_m:6.2f}  "
+                f"{p.charge_time_s * 1e3:9.1f}  "
+                f"{p.discharge_time_s * 1e3:12.1f}  "
+                f"{100 * p.duty_cycle:5.1f}  {p.cycles_per_second:5.1f}  "
+                f"{p.work_per_cycle_cycles / 1e3:12.1f}  "
+                f"{p.work_per_cycle_j / units.UJ:7.1f}"
+            )
+        return "\n".join(lines)

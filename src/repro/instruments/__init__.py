@@ -1,0 +1,19 @@
+"""Bench instruments used by the evaluation harness.
+
+The paper validates EDB with a Tektronix MDO4104 mixed-signal
+oscilloscope and a Keithley 2450 SourceMeter.  Both are *measurement*
+devices: they observe the system without participating in it.  Their
+simulated counterparts sample simulation state on their own schedule:
+
+- :class:`~repro.instruments.oscilloscope.Oscilloscope` — multi-channel
+  sampling of analog probes (Vcap, Vreg) and digital lines (GPIO, code
+  markers) at a configurable rate;
+- :class:`~repro.instruments.sourcemeter.SourceMeter` — applies a
+  voltage to one connection endpoint and measures the resulting DC
+  current (the Table 2 methodology).
+"""
+
+from repro.instruments.oscilloscope import Oscilloscope
+from repro.instruments.sourcemeter import SourceMeter
+
+__all__ = ["Oscilloscope", "SourceMeter"]

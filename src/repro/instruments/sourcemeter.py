@@ -1,0 +1,89 @@
+"""A source-measure unit for connection leakage characterisation.
+
+Reproduces the Table 2 methodology verbatim: "We used a source meter to
+apply a voltage to the driving endpoint of each connection and measure
+the resulting current.  We measured each connection with digital logic
+endpoints in both LOW and HIGH states by applying either 0 V or 2.4 V
+... We measured analog endpoints under the worst-case condition of
+2.4 V."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analog.connections import Connection, EDBConnectionHarness, LineState
+from repro.sim import units
+
+
+@dataclass(frozen=True)
+class CurrentStats:
+    """Min/avg/max of a set of current samples, in amperes."""
+
+    minimum: float
+    average: float
+    maximum: float
+
+    def as_nanoamps(self) -> tuple[float, float, float]:
+        """``(min, avg, max)`` in nanoamps, Table 2's unit."""
+        return (
+            self.minimum / units.NA,
+            self.average / units.NA,
+            self.maximum / units.NA,
+        )
+
+
+class SourceMeter:
+    """Applies a voltage to a connection endpoint and measures DC current."""
+
+    HIGH_VOLTAGE = 2.4  # the maximum voltage that can arise on any line
+    LOW_VOLTAGE = 0.0
+
+    def __init__(self, samples_per_reading: int = 50) -> None:
+        if samples_per_reading < 1:
+            raise ValueError("need at least one sample per reading")
+        self.samples_per_reading = samples_per_reading
+
+    def measure(
+        self, connection: Connection, state: LineState, voltage: float | None = None
+    ) -> CurrentStats:
+        """Characterise one connection in one drive state."""
+        if voltage is None:
+            voltage = (
+                self.LOW_VOLTAGE if state is LineState.LOW else self.HIGH_VOLTAGE
+            )
+        samples = [
+            connection.measure(voltage, state)
+            for _ in range(self.samples_per_reading)
+        ]
+        return CurrentStats(
+            minimum=min(samples),
+            average=sum(samples) / len(samples),
+            maximum=max(samples),
+        )
+
+    def characterise_harness(
+        self, harness: EDBConnectionHarness
+    ) -> dict[str, dict[LineState, CurrentStats]]:
+        """The full Table 2 sweep over every connection and state."""
+        out: dict[str, dict[LineState, CurrentStats]] = {}
+        for name in harness.names():
+            connection = harness.connection(name)
+            out[name] = {
+                state: self.measure(connection, state)
+                for state in connection.states
+            }
+        return out
+
+    @staticmethod
+    def worst_case_total(
+        sweep: dict[str, dict[LineState, CurrentStats]]
+    ) -> float:
+        """Sum of worst-case-magnitude currents across all connections."""
+        total = 0.0
+        for states in sweep.values():
+            total += max(
+                max(abs(stats.minimum), abs(stats.maximum))
+                for stats in states.values()
+            )
+        return total

@@ -1,0 +1,24 @@
+"""Buses and radio links of the target device.
+
+- :mod:`repro.io.lines` — plain digital signal lines with listeners
+  (code markers, the debugger signal line, demodulated RF data).
+- :mod:`repro.io.uart` — asynchronous serial with per-byte time and
+  energy cost; the "expensive" debug-output path of Table 4.
+- :mod:`repro.io.i2c` — the sensor bus (the accelerometer hangs here).
+- :mod:`repro.io.rfid` — an EPC Gen2 subset: reader, channel, and the
+  message vocabulary EDB decodes in Figure 12.
+"""
+
+from repro.io.i2c import I2CBus, I2CDevice, I2CError
+from repro.io.lines import DigitalLine, LineMonitor
+from repro.io.uart import Uart, UartFrameError
+
+__all__ = [
+    "DigitalLine",
+    "I2CBus",
+    "I2CDevice",
+    "I2CError",
+    "LineMonitor",
+    "Uart",
+    "UartFrameError",
+]

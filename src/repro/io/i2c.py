@@ -1,0 +1,126 @@
+"""The I2C sensor bus.
+
+The activity-recognition case study reads an accelerometer over I2C;
+EDB taps the SCL/SDA pair externally (Figure 5) to log transactions.
+The model is transaction-level: a register read/write costs the wire
+time of its bytes at the bus clock rate, plus a small peripheral supply
+current while the bus is active.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.sim import units
+from repro.sim.kernel import Simulator
+
+
+class I2CError(Exception):
+    """Addressed device missing, or register access rejected (NACK)."""
+
+
+class I2CDevice(Protocol):
+    """Anything that can sit on the bus and expose registers."""
+
+    def read_register(self, register: int) -> int:
+        """Return the 8-bit value of ``register``."""
+        ...
+
+    def write_register(self, register: int, value: int) -> None:
+        """Set the 8-bit value of ``register``."""
+        ...
+
+
+class I2CBus:
+    """A single-master I2C bus with transaction listeners.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    spend:
+        ``spend(seconds, extra_current)`` from the target device.
+    clock_hz:
+        Bus clock (400 kHz fast mode by default).
+    active_current:
+        Extra supply draw while a transaction is in flight.
+    """
+
+    BITS_PER_BYTE = 9  # 8 data + ack
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spend: Callable[[float, float], None] | None = None,
+        clock_hz: float = 400 * units.KHZ,
+        active_current: float = 0.2 * units.MA,
+        name: str = "i2c",
+    ) -> None:
+        self.sim = sim
+        self.spend = spend or (lambda seconds, current: None)
+        self.clock_hz = clock_hz
+        self.active_current = active_current
+        self.name = name
+        self._devices: dict[int, I2CDevice] = {}
+        self._listeners: list[Callable[[dict], None]] = []
+        self.transactions = 0
+
+    def attach(self, address: int, device: I2CDevice) -> None:
+        """Put a device on the bus at a 7-bit address."""
+        if not 0 <= address < 0x80:
+            raise ValueError(f"I2C address out of range: 0x{address:02X}")
+        if address in self._devices:
+            raise ValueError(f"address 0x{address:02X} already occupied")
+        self._devices[address] = device
+
+    def subscribe(self, listener: Callable[[dict], None]) -> None:
+        """Observe completed transactions (EDB's I2C tap)."""
+        self._listeners.append(listener)
+
+    def _wire_time(self, byte_count: int) -> float:
+        return byte_count * self.BITS_PER_BYTE / self.clock_hz
+
+    def _complete(self, record: dict) -> None:
+        self.transactions += 1
+        self.sim.trace.record(f"{self.name}.txn", record)
+        for listener in self._listeners:
+            listener(record)
+
+    def _device(self, address: int) -> I2CDevice:
+        device = self._devices.get(address)
+        if device is None:
+            raise I2CError(f"no device acknowledges address 0x{address:02X}")
+        return device
+
+    def read(self, address: int, register: int, count: int = 1) -> bytes:
+        """Register read: address+reg write phase, then ``count`` data bytes."""
+        device = self._device(address)
+        # addr+reg, repeated-start addr, then data bytes.
+        self.spend(self._wire_time(3 + count), self.active_current)
+        data = bytes(
+            device.read_register(register + i) & 0xFF for i in range(count)
+        )
+        self._complete(
+            {
+                "kind": "read",
+                "address": address,
+                "register": register,
+                "data": data,
+            }
+        )
+        return data
+
+    def write(self, address: int, register: int, data: bytes) -> None:
+        """Register write: address, register, then data bytes."""
+        device = self._device(address)
+        self.spend(self._wire_time(2 + len(data)), self.active_current)
+        for i, value in enumerate(data):
+            device.write_register(register + i, value)
+        self._complete(
+            {
+                "kind": "write",
+                "address": address,
+                "register": register,
+                "data": bytes(data),
+            }
+        )

@@ -1,0 +1,97 @@
+"""Digital signal lines between the target and the outside world.
+
+A :class:`DigitalLine` carries a logic level plus edge notifications.
+EDB taps lines *externally* — a listener subscribed to a line sees every
+transition without the target spending any energy beyond driving the
+line, which is the electrical story behind the paper's passive-mode
+monitoring.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.kernel import Simulator
+
+
+class DigitalLine:
+    """One digital signal line with edge listeners.
+
+    The line records transitions into the simulation trace under
+    ``line.<name>`` so instruments can reconstruct waveforms.
+    """
+
+    def __init__(self, sim: Simulator, name: str, state: bool = False) -> None:
+        self.sim = sim
+        self.name = name
+        self._state = state
+        self._listeners: list[Callable[[bool], None]] = []
+        self.transitions = 0
+
+    @property
+    def state(self) -> bool:
+        """Current logic level."""
+        return self._state
+
+    def drive(self, state: bool) -> None:
+        """Set the logic level, notifying listeners on a change."""
+        if state == self._state:
+            return
+        self._state = state
+        self.transitions += 1
+        self.sim.trace.record(f"line.{self.name}", state)
+        for listener in self._listeners:
+            listener(state)
+
+    def pulse(self) -> None:
+        """Drive high then low (a one-shot marker pulse)."""
+        self.drive(True)
+        self.drive(False)
+
+    def subscribe(self, listener: Callable[[bool], None]) -> None:
+        """Call ``listener(state)`` on every edge."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[bool], None]) -> None:
+        """Remove an edge listener (no-op if absent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+
+class LineMonitor:
+    """Collects timestamped edges from a set of lines.
+
+    This is the building block of EDB's I/O tracing: attach a monitor to
+    the UART RX/TX, I2C, and RF data lines and it accumulates an edge
+    log that the host console renders.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.edges: list[tuple[float, str, bool]] = []
+        self._attached: dict[str, Callable[[bool], None]] = {}
+
+    def attach(self, line: DigitalLine) -> None:
+        """Start recording edges from ``line``."""
+        if line.name in self._attached:
+            return
+
+        def listener(state: bool, name: str = line.name) -> None:
+            self.edges.append((self.sim.now, name, state))
+
+        self._attached[line.name] = listener
+        line.subscribe(listener)
+
+    def detach(self, line: DigitalLine) -> None:
+        """Stop recording edges from ``line``."""
+        listener = self._attached.pop(line.name, None)
+        if listener is not None:
+            line.unsubscribe(listener)
+
+    def edges_for(self, name: str) -> list[tuple[float, bool]]:
+        """Timestamped edges of one line: ``[(time, state), ...]``."""
+        return [(t, s) for t, n, s in self.edges if n == name]
+
+    def clear(self) -> None:
+        """Forget all recorded edges."""
+        self.edges.clear()

@@ -1,0 +1,23 @@
+"""An EPC Gen2-flavoured RFID link: reader, channel, and message types.
+
+The WISP is an RFID tag: the same RF carrier that powers it carries the
+reader's commands (QUERY / QUERYREP / ACK), and the tag answers by
+backscatter (RN16 / EPC replies).  EDB taps the demodulated RX line and
+the modulator TX line externally and decodes both directions — which is
+how Figure 12 correlates message traffic with the energy level, and why
+messages are visible "even if the target does not correctly decode them
+due to power failures".
+"""
+
+from repro.io.rfid.channel import RfidChannel
+from repro.io.rfid.protocol import CommandKind, ReaderCommand, ReplyKind, TagReply
+from repro.io.rfid.reader import RFIDReader
+
+__all__ = [
+    "CommandKind",
+    "RFIDReader",
+    "ReaderCommand",
+    "ReplyKind",
+    "RfidChannel",
+    "TagReply",
+]

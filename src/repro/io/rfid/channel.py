@@ -1,0 +1,140 @@
+"""The RF channel between the reader and one tag.
+
+Responsibilities:
+
+- deliver reader commands to the tag as *bits on the demodulated RX
+  line* (the tag must spend cycles decoding them; corrupted deliveries
+  decode to garbage);
+- carry the tag's backscatter replies back to the reader, with a
+  distance-dependent loss probability;
+- expose both directions to an external observer (EDB's RF RX/TX taps),
+  which sees the *bit patterns* and can decode them independently of
+  whether the tag or reader succeeded — §5.3.4's "decoder is necessary
+  to separate messages that were corrupted in flight from valid
+  messages that the target application failed to parse".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.io.lines import DigitalLine
+from repro.io.rfid.protocol import ReaderCommand, TagReply
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class DeliveredCommand:
+    """A command as it arrived at the tag's demodulator."""
+
+    time: float
+    bits: list[int]
+    corrupted: bool
+    original: ReaderCommand
+
+
+class RfidChannel:
+    """Reader↔tag air interface with corruption and loss.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    distance_m:
+        Reader-to-tag distance; both corruption and reply-loss
+        probabilities scale with its square (normalised to 1 m).
+    downlink_corruption_at_1m:
+        Probability a delivered command's bits are corrupted at 1 m.
+    uplink_loss_at_1m:
+        Probability the reader misses a tag reply at 1 m.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        distance_m: float = 1.0,
+        downlink_corruption_at_1m: float = 0.06,
+        uplink_loss_at_1m: float = 0.05,
+    ) -> None:
+        self.sim = sim
+        self.distance_m = distance_m
+        self.downlink_corruption_at_1m = downlink_corruption_at_1m
+        self.uplink_loss_at_1m = uplink_loss_at_1m
+        self.rx_line = DigitalLine(sim, "rf_rx")  # demodulated reader data
+        self.tx_line = DigitalLine(sim, "rf_tx")  # tag backscatter data
+        self.tag_rx_queue: list[DeliveredCommand] = []
+        self.reply_listeners: list[Callable[[TagReply, bool], None]] = []
+        self.command_taps: list[Callable[[DeliveredCommand], None]] = []
+        self.reply_taps: list[Callable[[TagReply], None]] = []
+        self.commands_sent = 0
+        self.replies_sent = 0
+        self.replies_received = 0
+
+    def _scaled(self, base: float) -> float:
+        return min(0.95, base * self.distance_m**2)
+
+    # -- downlink (reader -> tag) -----------------------------------------
+    def deliver_command(self, command: ReaderCommand) -> DeliveredCommand:
+        """Put one reader command on the air.
+
+        The bit pattern lands in the tag's demodulator queue (possibly
+        corrupted) and wiggles the RX line so external taps see it.
+        """
+        bits = command.encode_bits()
+        corrupted = self.sim.rng.chance(
+            "rfid.downlink", self._scaled(self.downlink_corruption_at_1m)
+        )
+        if corrupted:
+            flip = self.sim.rng.stream("rfid.corruption").randrange(len(bits))
+            bits = list(bits)
+            bits[flip] ^= 1
+        delivered = DeliveredCommand(
+            time=self.sim.now, bits=bits, corrupted=corrupted, original=command
+        )
+        self.tag_rx_queue.append(delivered)
+        self.commands_sent += 1
+        # Edge activity on the demod line (one representative pulse per
+        # message keeps trace volume manageable).
+        self.rx_line.pulse()
+        self.sim.trace.record("rfid.downlink", command.kind.value, corrupted=corrupted)
+        for tap in self.command_taps:
+            tap(delivered)
+        return delivered
+
+    def pop_tag_command(self) -> DeliveredCommand | None:
+        """Tag-side: take the oldest pending command off the demodulator."""
+        if not self.tag_rx_queue:
+            return None
+        return self.tag_rx_queue.pop(0)
+
+    @property
+    def tag_rx_pending(self) -> int:
+        """Commands waiting in the tag's demodulator."""
+        return len(self.tag_rx_queue)
+
+    def clear_tag_queue(self) -> None:
+        """Power failure on the tag: pending demodulated bits are lost."""
+        self.tag_rx_queue.clear()
+
+    # -- uplink (tag -> reader) ----------------------------------------------
+    def send_reply(self, reply: TagReply) -> bool:
+        """Tag-side: backscatter a reply.
+
+        Returns ``True`` if the reader received it.  External taps see
+        the reply either way (EDB sits next to the tag, the reader does
+        not).
+        """
+        self.replies_sent += 1
+        self.tx_line.pulse()
+        self.sim.trace.record("rfid.uplink", reply.kind.value)
+        for tap in self.reply_taps:
+            tap(reply)
+        lost = self.sim.rng.chance(
+            "rfid.uplink", self._scaled(self.uplink_loss_at_1m)
+        )
+        if not lost:
+            self.replies_received += 1
+            for listener in self.reply_listeners:
+                listener(reply, True)
+        return not lost

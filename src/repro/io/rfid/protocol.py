@@ -1,0 +1,107 @@
+"""EPC Gen2 message subset: the vocabulary of Figure 12.
+
+The paper's trace shows ``CMD_QUERY`` and ``CMD_QUERYREP`` arriving from
+the reader and ``RSP_GENERIC`` going back; we model the inventory-round
+subset that produces that traffic — QUERY (begin a round), QUERYREP
+(advance the slot counter), ACK (acknowledge an RN16), and the tag's
+RN16/EPC replies — with a compact bit-level encoding so the decode step
+on the tag has real work to do.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class CommandKind(enum.Enum):
+    """Reader-to-tag commands."""
+
+    QUERY = "CMD_QUERY"
+    QUERYREP = "CMD_QUERYREP"
+    ACK = "CMD_ACK"
+
+
+class ReplyKind(enum.Enum):
+    """Tag-to-reader replies."""
+
+    RN16 = "RSP_RN16"
+    EPC = "RSP_EPC"
+    GENERIC = "RSP_GENERIC"
+
+
+_COMMAND_PREFIX = {
+    CommandKind.QUERY: 0b1000,
+    CommandKind.QUERYREP: 0b00,
+    CommandKind.ACK: 0b01,
+}
+
+
+@dataclass(frozen=True)
+class ReaderCommand:
+    """One decoded reader command."""
+
+    kind: CommandKind
+    q: int = 0  # QUERY's slot-count exponent
+    rn16: int = 0  # ACK's echoed handle
+
+    def encode_bits(self) -> list[int]:
+        """Bit-level encoding (prefix + fields), MSB first."""
+        if self.kind is CommandKind.QUERY:
+            bits = _to_bits(_COMMAND_PREFIX[self.kind], 4)
+            bits += _to_bits(self.q & 0xF, 4)
+            return bits
+        if self.kind is CommandKind.QUERYREP:
+            return _to_bits(_COMMAND_PREFIX[self.kind], 2)
+        bits = _to_bits(_COMMAND_PREFIX[self.kind], 2)
+        bits += _to_bits(self.rn16 & 0xFFFF, 16)
+        return bits
+
+    @staticmethod
+    def decode_bits(bits: list[int]) -> "ReaderCommand":
+        """Decode a bit string back into a command.
+
+        Raises :class:`RfidDecodeError` for truncated or corrupted
+        encodings — the tag-side failure mode when a command arrives
+        while the supply is sagging.
+        """
+        if len(bits) >= 4 and _from_bits(bits[:4]) == _COMMAND_PREFIX[CommandKind.QUERY]:
+            if len(bits) < 8:
+                raise RfidDecodeError("truncated QUERY")
+            return ReaderCommand(CommandKind.QUERY, q=_from_bits(bits[4:8]))
+        if len(bits) >= 2 and _from_bits(bits[:2]) == _COMMAND_PREFIX[CommandKind.QUERYREP]:
+            if len(bits) != 2:
+                raise RfidDecodeError("malformed QUERYREP")
+            return ReaderCommand(CommandKind.QUERYREP)
+        if len(bits) >= 2 and _from_bits(bits[:2]) == _COMMAND_PREFIX[CommandKind.ACK]:
+            if len(bits) != 18:
+                raise RfidDecodeError("truncated ACK")
+            return ReaderCommand(CommandKind.ACK, rn16=_from_bits(bits[2:]))
+        raise RfidDecodeError(f"unrecognised command bits {bits!r}")
+
+
+@dataclass(frozen=True)
+class TagReply:
+    """One tag reply (backscatter)."""
+
+    kind: ReplyKind
+    payload: tuple[int, ...] = field(default_factory=tuple)
+
+    def bit_length(self) -> int:
+        """On-air length: 16 bits per payload word plus a 6-bit preamble."""
+        return 6 + 16 * max(1, len(self.payload))
+
+
+class RfidDecodeError(Exception):
+    """The bit pattern does not decode into a valid message."""
+
+
+def _to_bits(value: int, width: int) -> list[int]:
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def _from_bits(bits: list[int]) -> int:
+    value = 0
+    for bit in bits:
+        value = (value << 1) | (bit & 1)
+    return value

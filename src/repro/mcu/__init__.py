@@ -1,0 +1,43 @@
+"""The target microcontroller: an MSP430-class MCU simulator.
+
+The WISP 5's MCU (an MSP430FR5969) has a mix of volatile state
+(register file, SRAM) and non-volatile state (FRAM).  A power failure
+clears the volatile state and transfers control back to the program
+entry point; non-volatile state survives.  That asymmetry is what makes
+intermittence bugs possible, so the simulator models it directly:
+
+- :mod:`repro.mcu.memory` — byte-addressable SRAM/FRAM regions with an
+  MSP430-flavoured memory map and hard faults on wild accesses.
+- :mod:`repro.mcu.isa`, :mod:`repro.mcu.assembler`, :mod:`repro.mcu.cpu`
+  — a compact 16-bit ISA, its assembler, and an interpreting core with
+  per-instruction cycle costs (used by the checkpointing runtime).
+- :mod:`repro.mcu.hlapi` — the high-level, op-costed program model the
+  paper's case-study applications are written against.
+- :mod:`repro.mcu.device` — :class:`TargetDevice`, gluing CPU, memory,
+  peripherals, and the intermittent power system together.
+"""
+
+from repro.mcu.device import PowerFailure, TargetDevice
+from repro.mcu.memory import (
+    FRAM_BASE,
+    FRAM_SIZE,
+    MemoryFault,
+    MemoryMap,
+    MemoryRegion,
+    SRAM_BASE,
+    SRAM_SIZE,
+    make_msp430_memory_map,
+)
+
+__all__ = [
+    "FRAM_BASE",
+    "FRAM_SIZE",
+    "MemoryFault",
+    "MemoryMap",
+    "MemoryRegion",
+    "PowerFailure",
+    "SRAM_BASE",
+    "SRAM_SIZE",
+    "TargetDevice",
+    "make_msp430_memory_map",
+]

@@ -1,0 +1,282 @@
+"""The interpreting CPU core for the :mod:`repro.mcu.isa` instruction set.
+
+The core owns the register file (volatile!) and executes instructions
+out of the target's memory map.  Every instruction reports its cycle
+cost to a ``spend`` callback supplied by the device; the device converts
+cycles into simulated time and energy drawn from the capacitor — which
+is how a power failure can interrupt the program between any two
+instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.mcu.isa import (
+    FLAG_C,
+    FLAG_N,
+    FLAG_V,
+    FLAG_Z,
+    JUMPS,
+    Instruction,
+    Mode,
+    NUM_REGISTERS,
+    Op,
+    PC,
+    SP,
+    SR,
+    WORD_MASK,
+    decode,
+)
+from repro.mcu.memory import MemoryMap, SRAM_BASE, SRAM_SIZE
+
+
+class Halted(Exception):
+    """The program executed a HALT instruction."""
+
+
+class CpuError(Exception):
+    """An architecturally invalid operation (e.g. unknown port)."""
+
+
+def _signed(value: int) -> int:
+    """Interpret a 16-bit word as a signed integer."""
+    return value - 0x10000 if value & 0x8000 else value
+
+
+class Cpu:
+    """A 16-register interpreting core over a :class:`MemoryMap`.
+
+    Parameters
+    ----------
+    memory:
+        The target's address space (code lives in FRAM).
+    spend:
+        ``spend(cycles)`` — charge the given cycle count to the power
+        system; may raise :class:`repro.mcu.device.PowerFailure`.
+    """
+
+    def __init__(
+        self, memory: MemoryMap, spend: Callable[[int], None] | None = None
+    ) -> None:
+        self.memory = memory
+        self.spend = spend or (lambda cycles: None)
+        self.registers = [0] * NUM_REGISTERS
+        self.ports_out: dict[int, Callable[[int], None]] = {}
+        self.ports_in: dict[int, Callable[[], int]] = {}
+        self.on_mark: Callable[[int], None] | None = None
+        self.instructions_retired = 0
+        self.halted = False
+
+    # -- register/flag helpers ---------------------------------------------
+    @property
+    def pc(self) -> int:
+        """Program counter (R0)."""
+        return self.registers[PC]
+
+    @pc.setter
+    def pc(self, value: int) -> None:
+        self.registers[PC] = value & WORD_MASK
+
+    @property
+    def sp(self) -> int:
+        """Stack pointer (R1)."""
+        return self.registers[SP]
+
+    @sp.setter
+    def sp(self, value: int) -> None:
+        self.registers[SP] = value & WORD_MASK
+
+    def flag(self, bit: int) -> bool:
+        """Read one status-register flag."""
+        return bool(self.registers[SR] & bit)
+
+    def _set_flags(self, result: int, carry: bool, overflow: bool) -> int:
+        result &= WORD_MASK
+        sr = 0
+        if result == 0:
+            sr |= FLAG_Z
+        if result & 0x8000:
+            sr |= FLAG_N
+        if carry:
+            sr |= FLAG_C
+        if overflow:
+            sr |= FLAG_V
+        self.registers[SR] = sr
+        return result
+
+    # -- reset / power cycle -------------------------------------------------
+    def reset(self, entry: int) -> None:
+        """Power-on reset: clear all registers, PC = entry, SP = top of SRAM."""
+        self.registers = [0] * NUM_REGISTERS
+        self.pc = entry
+        self.sp = SRAM_BASE + SRAM_SIZE
+        self.halted = False
+
+    # -- operand resolution ----------------------------------------------------
+    def _operand_address(self, operand) -> int:
+        if operand.mode is Mode.ABS:
+            return operand.value
+        if operand.mode is Mode.IDX:
+            return (self.registers[operand.reg] + _signed(operand.value)) & WORD_MASK
+        if operand.mode is Mode.IND:
+            return self.registers[operand.reg]
+        raise CpuError(f"operand {operand!r} has no address")
+
+    def _read_operand(self, operand) -> int:
+        if operand.mode is Mode.REG:
+            return self.registers[operand.reg]
+        if operand.mode is Mode.IMM:
+            return operand.value
+        address = self._operand_address(operand)
+        region = self.memory.region_at(address, 2)
+        self.spend(region.read_cycles)
+        return self.memory.read_u16(address)
+
+    def _write_operand(self, operand, value: int) -> None:
+        if operand.mode is Mode.REG:
+            self.registers[operand.reg] = value & WORD_MASK
+            return
+        address = self._operand_address(operand)
+        region = self.memory.region_at(address, 2)
+        self.spend(region.write_cycles)
+        self.memory.write_u16(address, value)
+
+    # -- stack ----------------------------------------------------------------
+    def _push(self, value: int) -> None:
+        self.sp = self.sp - 2
+        self.memory.write_u16(self.sp, value)
+
+    def _pop(self) -> int:
+        value = self.memory.read_u16(self.sp)
+        self.sp = self.sp + 2
+        return value
+
+    # -- execution ---------------------------------------------------------------
+    def step(self) -> Instruction:
+        """Fetch, decode, and execute one instruction at the PC.
+
+        Returns the executed instruction.  Raises :class:`Halted` on
+        HALT, propagates :class:`~repro.mcu.memory.MemoryFault` on wild
+        accesses and whatever ``spend`` raises on power failure.
+        """
+        if self.halted:
+            raise Halted("CPU is halted")
+        instruction, size = decode(self.memory.read_u16, self.pc)
+        self.spend(instruction.cycles())
+        next_pc = (self.pc + size) & WORD_MASK
+        self._execute(instruction, next_pc)
+        self.instructions_retired += 1
+        return instruction
+
+    def _execute(self, ins: Instruction, next_pc: int) -> None:
+        op = ins.op
+        if op in JUMPS:
+            self.pc = self._jump_target(ins) if self._jump_taken(op) else next_pc
+            return
+        self.pc = next_pc
+        if op is Op.NOP:
+            return
+        if op is Op.HALT:
+            self.halted = True
+            raise Halted(f"HALT at 0x{(next_pc - ins.size_bytes) & WORD_MASK:04X}")
+        if op is Op.MOV:
+            self._write_operand(ins.dst, self._read_operand(ins.src))
+        elif op in (Op.ADD, Op.SUB, Op.CMP, Op.AND, Op.OR, Op.XOR, Op.BIT):
+            self._alu(ins)
+        elif op in (Op.INC, Op.DEC, Op.SHL, Op.SHR, Op.SWPB, Op.INV):
+            self._unary(ins)
+        elif op is Op.PUSH:
+            self._push(self._read_operand(ins.src))
+        elif op is Op.POP:
+            self._write_operand(ins.dst, self._pop())
+        elif op is Op.CALL:
+            self._push(self.pc)
+            self.pc = self._read_operand(ins.src)
+        elif op is Op.RET:
+            self.pc = self._pop()
+        elif op is Op.OUT:
+            port = self._read_operand(ins.dst)
+            handler = self.ports_out.get(port)
+            if handler is None:
+                raise CpuError(f"OUT to unknown port 0x{port:04X}")
+            handler(self._read_operand(ins.src))
+        elif op is Op.IN:
+            port = self._read_operand(ins.src)
+            handler = self.ports_in.get(port)
+            if handler is None:
+                raise CpuError(f"IN from unknown port 0x{port:04X}")
+            self._write_operand(ins.dst, handler() & WORD_MASK)
+        elif op is Op.MARK:
+            marker = self._read_operand(ins.src)
+            if self.on_mark is not None:
+                self.on_mark(marker)
+        else:  # pragma: no cover - every opcode is handled above
+            raise CpuError(f"unimplemented opcode {op!r}")
+
+    def _alu(self, ins: Instruction) -> None:
+        src = self._read_operand(ins.src)
+        dst = self._read_operand(ins.dst)
+        op = ins.op
+        if op is Op.ADD:
+            raw = dst + src
+            overflow = ((dst ^ raw) & (src ^ raw) & 0x8000) != 0
+            result = self._set_flags(raw, carry=raw > WORD_MASK, overflow=overflow)
+            self._write_operand(ins.dst, result)
+        elif op in (Op.SUB, Op.CMP):
+            raw = dst - src
+            overflow = ((dst ^ src) & (dst ^ raw) & 0x8000) != 0
+            result = self._set_flags(raw, carry=dst >= src, overflow=overflow)
+            if op is Op.SUB:
+                self._write_operand(ins.dst, result)
+        else:
+            table = {
+                Op.AND: dst & src,
+                Op.OR: dst | src,
+                Op.XOR: dst ^ src,
+                Op.BIT: dst & src,
+            }
+            result = self._set_flags(table[op], carry=False, overflow=False)
+            if op is not Op.BIT:  # BIT only sets flags
+                self._write_operand(ins.dst, result)
+
+    def _unary(self, ins: Instruction) -> None:
+        value = self._read_operand(ins.dst)
+        op = ins.op
+        if op is Op.INC:
+            raw = value + 1
+            result = self._set_flags(raw, carry=raw > WORD_MASK, overflow=False)
+        elif op is Op.DEC:
+            raw = value - 1
+            result = self._set_flags(raw, carry=value >= 1, overflow=False)
+        elif op is Op.SHL:
+            raw = value << 1
+            result = self._set_flags(
+                raw, carry=bool(value & 0x8000), overflow=False
+            )
+        elif op is Op.SHR:
+            result = self._set_flags(
+                value >> 1, carry=bool(value & 1), overflow=False
+            )
+        elif op is Op.SWPB:
+            swapped = ((value & 0xFF) << 8) | (value >> 8)
+            result = self._set_flags(swapped, carry=False, overflow=False)
+        else:  # INV
+            result = self._set_flags(~value, carry=False, overflow=False)
+        self._write_operand(ins.dst, result)
+
+    def _jump_taken(self, op: Op) -> bool:
+        if op is Op.JMP:
+            return True
+        if op is Op.JZ:
+            return self.flag(FLAG_Z)
+        if op is Op.JNZ:
+            return not self.flag(FLAG_Z)
+        if op is Op.JC:
+            return self.flag(FLAG_C)
+        if op is Op.JNC:
+            return not self.flag(FLAG_C)
+        return self.flag(FLAG_N)  # JN
+
+    def _jump_target(self, ins: Instruction) -> int:
+        return self._read_operand(ins.src)

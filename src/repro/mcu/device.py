@@ -1,0 +1,261 @@
+"""The target device: MCU + memory + peripherals on an intermittent supply.
+
+:class:`TargetDevice` is the simulated WISP.  It is the only component
+that converts *work* (CPU cycles, UART bytes, I2C transactions) into
+*time and energy*: every unit of work advances the simulation clock and
+drains the storage capacitor, and if the capacitor crosses the brown-out
+threshold mid-work the device raises :class:`PowerFailure` — the
+simulator's rendition of an intermittent reboot.
+
+A reboot (:meth:`TargetDevice.reboot`) does exactly what the paper says
+a power failure does: clears volatile state (register file, SRAM, GPIO,
+peripheral queues), retains non-volatile state (FRAM), and transfers
+control back to the program entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.io.i2c import I2CBus
+from repro.io.lines import DigitalLine
+from repro.io.uart import Uart
+from repro.mcu.adc import Adc, AdcChannelMux
+from repro.mcu.assembler import Program
+from repro.mcu.cpu import Cpu, Halted
+from repro.mcu.gpio import GpioPort
+from repro.mcu.memory import MemoryMap, make_msp430_memory_map
+from repro.power.supply import PowerSystem
+from repro.power.wisp import WispPowerConstants
+from repro.sim import units
+from repro.sim.kernel import Simulator
+
+
+class PowerFailure(Exception):
+    """The supply browned out while the device was doing work."""
+
+    def __init__(self, message: str, vcap: float, at: float) -> None:
+        super().__init__(message)
+        self.vcap = vcap
+        self.at = at
+
+
+class ExecutionLimit(Exception):
+    """The executor's simulated-time deadline expired mid-execution."""
+
+
+class TargetDevice:
+    """A WISP-class energy-harvesting target.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    power:
+        The intermittent power system feeding the device.
+    constants:
+        Electrical constants (clock rate, currents); defaults to WISP 5.
+    memory:
+        Address space; defaults to the MSP430FR5969-flavoured map.
+    marker_bits:
+        Number of GPIO lines allocated to EDB code markers; supports
+        ``2**marker_bits - 1`` distinct watchpoint identifiers (§4.1.3).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        power: PowerSystem,
+        constants: WispPowerConstants | None = None,
+        memory: MemoryMap | None = None,
+        marker_bits: int = 4,
+    ) -> None:
+        self.sim = sim
+        self.power = power
+        self.constants = constants or WispPowerConstants()
+        self.memory = memory or make_msp430_memory_map()
+
+        self.gpio = GpioPort(sim)
+        self.gpio.add_pin("led", load_current=self.constants.led_current)
+        self.adc = Adc(
+            reference_voltage=3.3, noise_sigma_v=0.5 * units.MV, rng=sim.rng,
+            stream="target-adc",
+        )
+        self.adc_mux = AdcChannelMux(self.adc)
+        self.adc_mux.add_channel("vcap", lambda: self.power.vcap)
+
+        self.uart = Uart(sim, spend=self.spend_time, name="uart")
+        self.debug_uart = Uart(sim, spend=self.spend_time, name="debug_uart")
+        self.i2c = I2CBus(sim, spend=self.spend_time)
+
+        if marker_bits < 1:
+            raise ValueError("need at least one code-marker line")
+        self.marker_lines = [
+            DigitalLine(sim, f"code_marker_{i}") for i in range(marker_bits)
+        ]
+        self.debug_signal = DigitalLine(sim, "debug_signal")
+        self.on_code_marker: list[Callable[[int], None]] = []
+
+        self.cpu = Cpu(self.memory, spend=self.execute_cycles)
+        self.cpu.on_mark = self._cpu_mark
+        self._program: Program | None = None
+
+        self.cycles_executed = 0
+        self.reboot_count = 0
+        self.energy_consumed = 0.0
+        self.stop_after: float | None = None  # executor deadline (sim time)
+        # Hooks run after each unit of work completes (an attached
+        # debugger services pending energy breakpoints here, mimicking
+        # its interrupt line).  Guarded against re-entrancy.
+        self.post_work_hooks: list[Callable[[], None]] = []
+        self._in_hook = False
+
+    # -- work -> time + energy ------------------------------------------------
+    @property
+    def max_marker_id(self) -> int:
+        """Largest encodable watchpoint identifier (``2^n - 1``)."""
+        return (1 << len(self.marker_lines)) - 1
+
+    def _check_power(self) -> None:
+        if not self.power.is_on:
+            raise PowerFailure(
+                f"brown-out at {self.sim.now * 1e3:.3f} ms "
+                f"(Vcap = {self.power.vcap:.3f} V)",
+                vcap=self.power.vcap,
+                at=self.sim.now,
+            )
+
+    def execute_cycles(self, cycles: int, extra_current: float = 0.0) -> None:
+        """Burn ``cycles`` of CPU time against the supply.
+
+        Raises :class:`PowerFailure` if the supply browns out during or
+        before the work.
+        """
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative (got {cycles})")
+        if self.stop_after is not None and self.sim.now >= self.stop_after:
+            raise ExecutionLimit(f"deadline {self.stop_after:.6f} s reached")
+        self._check_power()
+        dt = cycles * self.constants.cycle_time
+        current = (
+            self.constants.active_current
+            + self.constants.system_current
+            + self.gpio.total_load_current()
+            + extra_current
+        )
+        energy_before = self.power.capacitor.energy
+        self.sim.advance(dt)
+        powered = self.power.step(dt, current)
+        self.cycles_executed += cycles
+        self.energy_consumed += max(0.0, energy_before - self.power.capacitor.energy)
+        if not powered:
+            raise PowerFailure(
+                f"brown-out at {self.sim.now * 1e3:.3f} ms "
+                f"(Vcap = {self.power.vcap:.3f} V)",
+                vcap=self.power.vcap,
+                at=self.sim.now,
+            )
+        if self.post_work_hooks and not self._in_hook:
+            self._in_hook = True
+            try:
+                for hook in self.post_work_hooks:
+                    hook()
+            finally:
+                self._in_hook = False
+
+    def spend_time(self, seconds: float, extra_current: float = 0.0) -> None:
+        """Burn wall-clock work (bus transfers) against the supply."""
+        cycles = max(1, round(seconds * self.constants.clock_hz))
+        self.execute_cycles(cycles, extra_current=extra_current)
+
+    def sleep(self, seconds: float) -> None:
+        """Low-power sleep: time passes at the sleep current."""
+        if self.stop_after is not None and self.sim.now >= self.stop_after:
+            raise ExecutionLimit(f"deadline {self.stop_after:.6f} s reached")
+        self._check_power()
+        self.sim.advance(seconds)
+        powered = self.power.step(seconds, self.constants.sleep_current)
+        if not powered:
+            raise PowerFailure(
+                f"brown-out during sleep at {self.sim.now * 1e3:.3f} ms",
+                vcap=self.power.vcap,
+                at=self.sim.now,
+            )
+
+    # -- code markers (EDB program-event monitoring) ----------------------------
+    def code_marker(self, marker_id: int) -> None:
+        """Pulse the code-marker GPIO lines to encode ``marker_id``.
+
+        This is the near-free program-event signalling of §4.1.3: the
+        target holds the lines for a single cycle.  Identifier 0 is
+        reserved (it is indistinguishable from "no marker").
+        """
+        if not 1 <= marker_id <= self.max_marker_id:
+            raise ValueError(
+                f"marker id {marker_id} out of range 1..{self.max_marker_id}"
+            )
+        for bit, line in enumerate(self.marker_lines):
+            line.drive(bool(marker_id & (1 << bit)))
+        self.execute_cycles(1)
+        for hook in self.on_code_marker:
+            hook(marker_id)
+        for line in self.marker_lines:
+            line.drive(False)
+
+    def _cpu_mark(self, marker_id: int) -> None:
+        self.code_marker(marker_id)
+
+    # -- reboot / program control -------------------------------------------------
+    def reboot(self) -> None:
+        """Power-failure reset: clear volatile state, keep FRAM."""
+        self.memory.clear_volatile()
+        self.gpio.reset()
+        self.uart.reset()
+        self.debug_uart.reset()
+        for line in self.marker_lines:
+            line.drive(False)
+        self.debug_signal.drive(False)
+        if self._program is not None:
+            self.cpu.reset(self._program.entry)
+        else:
+            self.cpu.reset(0)
+        self.reboot_count += 1
+        self.sim.trace.record("target.reboot", self.reboot_count)
+
+    def load_program(self, program: Program) -> None:
+        """Write an assembled image into FRAM and point the CPU at it."""
+        self.memory.write_bytes(program.origin, program.to_bytes())
+        self._program = program
+        self.cpu.reset(program.entry)
+
+    @property
+    def program(self) -> Program | None:
+        """The currently loaded ISA program image, if any."""
+        return self._program
+
+    def run_isa(self, max_instructions: int = 1_000_000) -> str:
+        """Run the loaded ISA program until HALT, power failure, or limit.
+
+        Returns ``"halted"``, or raises :class:`PowerFailure` — callers
+        that want intermittent semantics use the executor in
+        :mod:`repro.runtime.executor`, which catches the failure,
+        charges, reboots, and retries.
+        """
+        if self._program is None:
+            raise RuntimeError("no program loaded")
+        for _ in range(max_instructions):
+            try:
+                self.cpu.step()
+            except Halted:
+                return "halted"
+        raise RuntimeError(f"exceeded {max_instructions} instructions")
+
+    # -- self-measurement ------------------------------------------------------------
+    def measure_own_vcap(self) -> float:
+        """The target measuring its *own* storage voltage via its ADC.
+
+        Costs ~160 cycles (ADC setup + conversion), which — as §4.1
+        notes — itself perturbs the energy state being measured.
+        """
+        self.execute_cycles(160)
+        return self.adc_mux.read("vcap")

@@ -1,0 +1,96 @@
+"""General-purpose I/O pins of the target MCU.
+
+GPIO matters to the evaluation in two ways:
+
+- the case-study applications toggle a pin to signal main-loop progress
+  (the "Main Loop" digital channel in the paper's oscilloscope traces);
+- EDB's code markers are GPIO lines the target pulses for one cycle per
+  watchpoint, and their (negligible) cost is quantified in §4.1.3.
+
+Pins can also carry a static load such as an LED: Section 2.2's point
+that an LED raises the WISP's draw five-fold is modelled by attaching a
+load current to a pin, which the device adds to the MCU draw while the
+pin is high.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class Pin:
+    """One digital output pin."""
+
+    name: str
+    state: bool = False
+    load_current: float = 0.0  # extra supply draw while high (amperes)
+    listeners: list[Callable[[str, bool], None]] = field(default_factory=list)
+    toggles: int = 0
+
+
+class GpioPort:
+    """A bank of named digital pins with edge listeners.
+
+    Pin states are volatile: a reboot drives every pin low (the MCU's
+    reset state), which is why the paper's "main loop" traces go quiet
+    when the device browns out.
+    """
+
+    def __init__(self, sim: Simulator, trace_channel: str = "gpio") -> None:
+        self.sim = sim
+        self.trace_channel = trace_channel
+        self._pins: dict[str, Pin] = {}
+
+    def add_pin(self, name: str, load_current: float = 0.0) -> Pin:
+        """Declare a pin; returns the :class:`Pin` record."""
+        if name in self._pins:
+            raise ValueError(f"pin {name!r} already exists")
+        pin = Pin(name=name, load_current=load_current)
+        self._pins[name] = pin
+        return pin
+
+    def pin(self, name: str) -> Pin:
+        """Look up a pin, creating it on first use."""
+        if name not in self._pins:
+            self.add_pin(name)
+        return self._pins[name]
+
+    def write(self, name: str, state: bool) -> None:
+        """Drive a pin high or low, notifying listeners on a change."""
+        pin = self.pin(name)
+        if pin.state == state:
+            return
+        pin.state = state
+        pin.toggles += 1
+        self.sim.trace.record(f"{self.trace_channel}.{name}", state)
+        for listener in pin.listeners:
+            listener(name, state)
+
+    def toggle(self, name: str) -> None:
+        """Invert a pin's state."""
+        self.write(name, not self.pin(name).state)
+
+    def read(self, name: str) -> bool:
+        """Current state of a pin."""
+        return self.pin(name).state
+
+    def subscribe(self, name: str, listener: Callable[[str, bool], None]) -> None:
+        """Call ``listener(name, state)`` on every edge of the pin."""
+        self.pin(name).listeners.append(listener)
+
+    def total_load_current(self) -> float:
+        """Sum of load currents of all pins currently driven high."""
+        return sum(p.load_current for p in self._pins.values() if p.state)
+
+    def reset(self) -> None:
+        """Drive all pins low (power-on reset state)."""
+        for name in list(self._pins):
+            self.write(name, False)
+
+    def names(self) -> list[str]:
+        """All declared pin names."""
+        return sorted(self._pins)

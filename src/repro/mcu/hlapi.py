@@ -1,0 +1,286 @@
+"""The high-level program model for intermittent applications.
+
+The paper's case-study applications are C programs on the WISP.  Here
+they are Python classes written against :class:`DeviceAPI` — a C-like
+device interface where **every operation has an explicit cycle cost**
+and therefore drains the capacitor, so a power failure can interrupt
+the program between any two operations.
+
+Rules for writing intermittence-faithful programs against this API:
+
+- *All* persistent program state lives in target memory (``load``/
+  ``store`` against FRAM addresses from :meth:`DeviceAPI.nv_var`, or
+  the structured containers in :mod:`repro.runtime.nonvolatile`).
+- Python locals model *registers/stack*: they vanish on reboot because
+  the executor re-invokes ``main()`` from the top.
+- Debug instrumentation goes through :attr:`DeviceAPI.edb` (the
+  target-side libEDB), which is ``None`` in a release build — apps use
+  the ``edb_*`` convenience wrappers, which compile to nothing when no
+  debugger is linked in.
+
+A program is any object with a ``main(api)`` method; optional
+``flash(api)`` initialises FRAM once, playing the role of programming
+the device over JTAG before deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from repro.mcu.device import TargetDevice
+from repro.mcu.memory import FRAM_BASE, FRAM_SIZE, MemoryFault, SRAM_BASE, SRAM_SIZE
+
+
+@runtime_checkable
+class IntermittentProgram(Protocol):
+    """Structural type of an application runnable by the executor."""
+
+    name: str
+
+    def main(self, api: "DeviceAPI") -> None:
+        """One powered execution attempt, entered after every reboot."""
+        ...
+
+
+class ProgramComplete(Exception):
+    """Raised by a program to signal that its workload is finished.
+
+    Real embedded main loops never return; test programs raise this to
+    tell the executor that the experiment's exit criterion was met.
+    """
+
+
+# Cycle costs of the C-like primitives.  These are in the right
+# proportions for an MSP430 at 4 MHz: single-cycle SRAM, multi-cycle
+# FRAM (wait states), a few cycles of address arithmetic per access.
+COST_COMPUTE = 1
+COST_LOAD = 4
+COST_STORE = 4
+COST_GPIO = 2
+COST_ADC = 160
+COST_BRANCH = 2
+
+
+class DeviceAPI:
+    """C-like device interface with explicit per-operation costs.
+
+    Parameters
+    ----------
+    device:
+        The simulated target.
+    edb:
+        The target-side libEDB instance, or ``None`` for a release
+        build with no debugger attached.
+    """
+
+    def __init__(self, device: TargetDevice, edb: Any = None) -> None:
+        self.device = device
+        self.edb = edb
+        self._nv_cursor = FRAM_BASE
+        self._nv_vars: dict[str, tuple[int, int]] = {}
+        self._sram_cursor = SRAM_BASE
+        self._sram_vars: dict[str, tuple[int, int]] = {}
+
+    # -- static allocation (the "linker") -----------------------------------
+    def nv_var(self, name: str, size: int = 2) -> int:
+        """Address of a non-volatile static variable, allocating on first use.
+
+        Allocation is deterministic (first-come order), mirroring a
+        linker placing ``__NV`` statics in FRAM.  Repeated calls with
+        the same name return the same address — including across
+        reboots, because the allocator mirrors the static layout rather
+        than runtime state.
+        """
+        size = size + (size % 2)  # keep word alignment
+        if name in self._nv_vars:
+            address, existing = self._nv_vars[name]
+            if existing != size:
+                raise ValueError(
+                    f"nv_var {name!r} re-declared with size {size} != {existing}"
+                )
+            return address
+        address = self._nv_cursor
+        if address + size > FRAM_BASE + FRAM_SIZE:
+            raise MemoryError("FRAM statics exhausted")
+        self._nv_vars[name] = (address, size)
+        self._nv_cursor += size
+        return address
+
+    def sram_var(self, name: str, size: int = 2) -> int:
+        """Address of a volatile static variable in SRAM.
+
+        Like :meth:`nv_var`, the address is a property of the *name*
+        (the linker's layout), not of the call — re-entering ``main``
+        after a reboot sees the same address, with zeroed contents.
+        """
+        if name in self._sram_vars:
+            address, existing = self._sram_vars[name]
+            if existing != size + (size % 2):
+                raise ValueError(f"sram_var {name!r} re-declared with new size")
+            return address
+        size = size + (size % 2)
+        address = self._sram_cursor
+        if address + size > SRAM_BASE + SRAM_SIZE:
+            raise MemoryError("SRAM statics exhausted")
+        self._sram_vars[name] = (address, size)
+        self._sram_cursor += size
+        return address
+
+    # -- computation ----------------------------------------------------------
+    def compute(self, cycles: int = COST_COMPUTE) -> None:
+        """Burn pure-computation cycles (ALU work, loop overhead)."""
+        self.device.execute_cycles(cycles)
+
+    def branch(self) -> None:
+        """Cost of a conditional branch."""
+        self.device.execute_cycles(COST_BRANCH)
+
+    # -- memory ------------------------------------------------------------------
+    def load_u16(self, address: int) -> int:
+        """Load a word from target memory (cost depends on region)."""
+        region = self.device.memory.region_at(address, 2)
+        self.device.execute_cycles(COST_LOAD + region.read_cycles)
+        return self.device.memory.read_u16(address)
+
+    def store_u16(self, address: int, value: int) -> None:
+        """Store a word to target memory (cost depends on region)."""
+        region = self.device.memory.region_at(address, 2)
+        self.device.execute_cycles(COST_STORE + region.write_cycles)
+        self.device.memory.write_u16(address, value)
+
+    def load_bytes(self, address: int, count: int) -> bytes:
+        """Bulk read (cost scales with length)."""
+        region = self.device.memory.region_at(address, max(1, count))
+        self.device.execute_cycles(COST_LOAD + region.read_cycles * max(1, count // 2))
+        return self.device.memory.read_bytes(address, count)
+
+    def store_bytes(self, address: int, data: bytes) -> None:
+        """Bulk write (cost scales with length)."""
+        count = max(1, len(data))
+        region = self.device.memory.region_at(address, count)
+        self.device.execute_cycles(
+            COST_STORE + region.write_cycles * max(1, count // 2)
+        )
+        self.device.memory.write_bytes(address, data)
+
+    def memset(self, address: int, value: int, count: int) -> None:
+        """``memset``: the write that goes wild in the Figure 6 bug."""
+        self.store_bytes(address, bytes([value & 0xFF] * count))
+
+    # -- peripherals ----------------------------------------------------------------
+    def gpio_write(self, pin: str, state: bool) -> None:
+        """Drive a GPIO pin."""
+        self.device.execute_cycles(COST_GPIO)
+        self.device.gpio.write(pin, state)
+
+    def gpio_toggle(self, pin: str) -> None:
+        """Toggle a GPIO pin (the case studies' main-loop heartbeat)."""
+        self.device.execute_cycles(COST_GPIO)
+        self.device.gpio.toggle(pin)
+
+    def led(self, on: bool) -> None:
+        """Light the LED — a five-fold increase in supply draw (§2.2)."""
+        self.gpio_write("led", on)
+
+    def adc_read(self, channel: str) -> float:
+        """Sample an ADC channel (expensive: ~160 cycles)."""
+        self.device.execute_cycles(COST_ADC)
+        return self.device.adc_mux.read(channel)
+
+    def uart_print(self, text: str) -> None:
+        """Blocking UART debug output — the costly path of Table 4."""
+        self.device.uart.transmit(text.encode())
+
+    def i2c_read(self, address: int, register: int, count: int = 1) -> bytes:
+        """Read sensor registers over I2C."""
+        return self.device.i2c.read(address, register, count)
+
+    def i2c_write(self, address: int, register: int, data: bytes) -> None:
+        """Write sensor registers over I2C."""
+        return self.device.i2c.write(address, register, data)
+
+    def sleep(self, seconds: float) -> None:
+        """Duty-cycle sleep at the sleep current."""
+        self.device.sleep(seconds)
+
+    # -- libEDB convenience wrappers (compile to nothing when unlinked) --------
+    def edb_watchpoint(self, marker_id: int) -> None:
+        """``WATCHPOINT(id)`` — no-op in a release build."""
+        if self.edb is not None:
+            self.edb.watchpoint(marker_id)
+
+    def edb_printf(self, text: str) -> None:
+        """``EDB_PRINTF(...)`` — no-op in a release build."""
+        if self.edb is not None:
+            self.edb.printf(text)
+
+    def edb_assert(self, condition: bool, message: str = "") -> None:
+        """``ASSERT(expr)`` — intermittence-aware when EDB is attached.
+
+        Without EDB the failure path is the conventional embedded one
+        (§3.3.2's "post-mortem" dead end): a custom fault handler
+        scribbles a tiny ad hoc core dump into non-volatile memory,
+        spins until the energy supply dies, and on the next boot the
+        device runs straight past the assertion.  Compare the scarce
+        clues in :meth:`read_core_dump` with the full live session a
+        keep-alive assert opens.
+        """
+        if self.edb is not None:
+            self.edb.assert_(condition, message)
+        elif not condition:
+            self._write_core_dump()
+            self.drain_until_brownout()
+
+    # Core-dump slot layout: magic, fail count, Vcap (mV), time (ms).
+    _CORE_DUMP_MAGIC = 0xDEAD
+
+    def _write_core_dump(self) -> None:
+        base = self.nv_var("edb.core_dump", 8)
+        count_addr = base + 2
+        previous = self.load_u16(count_addr)
+        self.store_u16(base, self._CORE_DUMP_MAGIC)
+        self.store_u16(count_addr, (previous + 1) & 0xFFFF)
+        self.store_u16(base + 4, int(self.device.power.vcap * 1000) & 0xFFFF)
+        self.store_u16(base + 6, int(self.device.sim.now * 1000) & 0xFFFF)
+
+    def read_core_dump(self) -> dict[str, int] | None:
+        """Host-side read of the ad hoc post-mortem record (uncosted).
+
+        Returns ``None`` when no assert has ever failed.  This is all a
+        conventional workflow has to reconstruct the failure from —
+        "a post-mortem analysis is limited to scarce clues in a tiny ad
+        hoc core dump" (§3.3.2).
+        """
+        base = self.nv_var("edb.core_dump", 8)
+        memory = self.device.memory
+        if memory.read_u16(base) != self._CORE_DUMP_MAGIC:
+            return None
+        return {
+            "failures": memory.read_u16(base + 2),
+            "vcap_mv": memory.read_u16(base + 4),
+            "time_ms": memory.read_u16(base + 6),
+        }
+
+    def edb_energy_guard(self):
+        """``ENERGY_GUARD { ... }`` as a context manager; no-op unlinked."""
+        if self.edb is not None:
+            return self.edb.energy_guard()
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    def edb_breakpoint(self, breakpoint_id: int) -> None:
+        """``BREAKPOINT(id)`` — no-op in a release build."""
+        if self.edb is not None:
+            self.edb.code_breakpoint(breakpoint_id)
+
+    # -- failure behaviours -----------------------------------------------------
+    def drain_until_brownout(self) -> None:
+        """Spin, consuming energy, until the supply fails.
+
+        Models both a conventional assert's fault-handler dead end and
+        the externally observable "hang" after memory corruption.
+        Always raises :class:`~repro.mcu.device.PowerFailure`.
+        """
+        while True:
+            self.device.execute_cycles(64)

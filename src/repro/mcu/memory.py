@@ -1,0 +1,234 @@
+"""Byte-addressable target memory with volatile and non-volatile regions.
+
+The memory map mirrors the MSP430FR5969 on the WISP 5:
+
+- SRAM at ``0x1C00``, 2 KiB — volatile, cleared on every reboot;
+- FRAM at ``0x4400``, 47.75 KiB — non-volatile, survives reboots.
+
+Accesses outside any mapped region, or misaligned word accesses, raise
+:class:`MemoryFault`.  That fault is the simulator's rendition of the
+paper's "undefined behavior": the wild-pointer write at the end of the
+Figure 3 bug chain lands here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+SRAM_BASE = 0x1C00
+SRAM_SIZE = 2 * 1024
+FRAM_BASE = 0x4400
+FRAM_SIZE = 0xBF80  # 0x4400 .. 0xFF7F on the FR5969
+
+NULL = 0x0000
+
+
+class MemoryFault(Exception):
+    """A wild access: unmapped address, misalignment, or bad width."""
+
+    def __init__(self, message: str, address: int | None = None) -> None:
+        super().__init__(message)
+        self.address = address
+
+
+class MemoryRegion:
+    """A contiguous block of byte-addressable memory.
+
+    Parameters
+    ----------
+    name:
+        Human-readable region name ("sram", "fram").
+    base:
+        First mapped address.
+    size:
+        Region size in bytes.
+    volatile:
+        Whether the region is cleared by a power failure.
+    write_cycles / read_cycles:
+        Access cost in CPU cycles (FRAM writes on real parts incur wait
+        states; the costs feed the device's time/energy accounting).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base: int,
+        size: int,
+        volatile: bool,
+        read_cycles: int = 1,
+        write_cycles: int = 1,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"region size must be positive (got {size})")
+        if base < 0:
+            raise ValueError(f"region base must be non-negative (got {base})")
+        self.name = name
+        self.base = base
+        self.size = size
+        self.volatile = volatile
+        self.read_cycles = read_cycles
+        self.write_cycles = write_cycles
+        self._data = bytearray(size)
+        self.writes = 0
+        self.reads = 0
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped address."""
+        return self.base + self.size
+
+    def contains(self, address: int, width: int = 1) -> bool:
+        """True if ``[address, address+width)`` lies inside the region."""
+        return self.base <= address and address + width <= self.end
+
+    def _offset(self, address: int, width: int) -> int:
+        if not self.contains(address, width):
+            raise MemoryFault(
+                f"access of {width} byte(s) at 0x{address:04X} escapes "
+                f"region '{self.name}' [0x{self.base:04X}, 0x{self.end:04X})",
+                address=address,
+            )
+        return address - self.base
+
+    def read_u8(self, address: int) -> int:
+        """Read one byte."""
+        self.reads += 1
+        return self._data[self._offset(address, 1)]
+
+    def write_u8(self, address: int, value: int) -> None:
+        """Write one byte (value truncated to 8 bits)."""
+        self.writes += 1
+        self._data[self._offset(address, 1)] = value & 0xFF
+
+    def read_u16(self, address: int) -> int:
+        """Read one little-endian 16-bit word (must be 2-byte aligned)."""
+        if address % 2:
+            raise MemoryFault(
+                f"misaligned word read at 0x{address:04X}", address=address
+            )
+        offset = self._offset(address, 2)
+        self.reads += 1
+        return self._data[offset] | (self._data[offset + 1] << 8)
+
+    def write_u16(self, address: int, value: int) -> None:
+        """Write one little-endian 16-bit word (must be 2-byte aligned)."""
+        if address % 2:
+            raise MemoryFault(
+                f"misaligned word write at 0x{address:04X}", address=address
+            )
+        offset = self._offset(address, 2)
+        self.writes += 1
+        self._data[offset] = value & 0xFF
+        self._data[offset + 1] = (value >> 8) & 0xFF
+
+    def read_bytes(self, address: int, count: int) -> bytes:
+        """Read ``count`` raw bytes."""
+        offset = self._offset(address, count)
+        self.reads += 1
+        return bytes(self._data[offset : offset + count])
+
+    def write_bytes(self, address: int, data: bytes | bytearray) -> None:
+        """Write raw bytes."""
+        offset = self._offset(address, len(data))
+        self.writes += 1
+        self._data[offset : offset + len(data)] = data
+
+    def clear(self) -> None:
+        """Zero the region (what a power failure does to volatile RAM)."""
+        for i in range(self.size):
+            self._data[i] = 0
+
+    def __repr__(self) -> str:
+        kind = "volatile" if self.volatile else "non-volatile"
+        return (
+            f"MemoryRegion({self.name!r}, 0x{self.base:04X}+{self.size}, {kind})"
+        )
+
+
+class MemoryMap:
+    """The full address space: an ordered set of non-overlapping regions."""
+
+    def __init__(self, regions: Iterable[MemoryRegion]) -> None:
+        self.regions = sorted(regions, key=lambda r: r.base)
+        for a, b in zip(self.regions, self.regions[1:]):
+            if a.end > b.base:
+                raise ValueError(f"regions overlap: {a!r} and {b!r}")
+        self._by_name = {r.name: r for r in self.regions}
+        if len(self._by_name) != len(self.regions):
+            raise ValueError("region names must be unique")
+
+    def region(self, name: str) -> MemoryRegion:
+        """Look a region up by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no region named {name!r}; have {sorted(self._by_name)}"
+            ) from None
+
+    def region_at(self, address: int, width: int = 1) -> MemoryRegion:
+        """The region mapping ``[address, address+width)``.
+
+        Raises :class:`MemoryFault` for unmapped addresses — including
+        address 0, so NULL-pointer dereferences fault here.
+        """
+        for region in self.regions:
+            if region.contains(address, width):
+                return region
+        raise MemoryFault(
+            f"access of {width} byte(s) at unmapped address 0x{address:04X}",
+            address=address,
+        )
+
+    # -- whole-address-space accessors -------------------------------------
+    def read_u8(self, address: int) -> int:
+        """Read a byte anywhere in the address space."""
+        return self.region_at(address, 1).read_u8(address)
+
+    def write_u8(self, address: int, value: int) -> None:
+        """Write a byte anywhere in the address space."""
+        self.region_at(address, 1).write_u8(address, value)
+
+    def read_u16(self, address: int) -> int:
+        """Read a word anywhere in the address space."""
+        return self.region_at(address, 2).read_u16(address)
+
+    def write_u16(self, address: int, value: int) -> None:
+        """Write a word anywhere in the address space."""
+        self.region_at(address, 2).write_u16(address, value)
+
+    def read_bytes(self, address: int, count: int) -> bytes:
+        """Read raw bytes anywhere in the address space."""
+        return self.region_at(address, count).read_bytes(address, count)
+
+    def write_bytes(self, address: int, data: bytes | bytearray) -> None:
+        """Write raw bytes anywhere in the address space."""
+        self.region_at(address, len(data)).write_bytes(address, data)
+
+    def clear_volatile(self) -> None:
+        """Clear every volatile region (reboot semantics)."""
+        for region in self.regions:
+            if region.volatile:
+                region.clear()
+
+
+def make_msp430_memory_map() -> MemoryMap:
+    """Build the MSP430FR5969-flavoured map used by the WISP target.
+
+    FRAM accesses are costed at 3 cycles to reflect the wait states the
+    real part inserts above 8 MHz plus the cache-miss penalty; SRAM is
+    single-cycle.
+    """
+    return MemoryMap(
+        [
+            MemoryRegion("sram", SRAM_BASE, SRAM_SIZE, volatile=True),
+            MemoryRegion(
+                "fram",
+                FRAM_BASE,
+                FRAM_SIZE,
+                volatile=False,
+                read_cycles=3,
+                write_cycles=3,
+            ),
+        ]
+    )

@@ -1,0 +1,46 @@
+"""Energy subsystem of the simulated energy-harvesting target.
+
+This package models the left half of the paper's Figure 2A: an ambient
+energy source with high source resistance, a storage capacitor, and a
+regulator feeding the load.  Charging follows the characteristic RC
+"sawtooth" law; discharge is driven by whatever current the MCU and its
+peripherals draw.  A comparator with hysteresis (turn-on threshold above
+brown-out threshold) makes operation intermittent.
+
+The WISP 5 constants used throughout the evaluation (47 uF, 2.4 V
+turn-on, 1.8 V brown-out, ~0.5 mA active at 4 MHz) live in
+:mod:`repro.power.wisp`.
+"""
+
+from repro.power.capacitor import StorageCapacitor
+from repro.power.ekho import HarvestRecorder, record_environment
+from repro.power.harvester import (
+    ConstantCurrentSource,
+    EnergySource,
+    NullSource,
+    RFHarvester,
+    SolarHarvester,
+    TetheredSupply,
+    TraceDrivenSource,
+)
+from repro.power.regulator import LinearRegulator
+from repro.power.supply import PowerState, PowerSystem
+from repro.power.wisp import WispPowerConstants, make_wisp_power_system
+
+__all__ = [
+    "ConstantCurrentSource",
+    "EnergySource",
+    "HarvestRecorder",
+    "LinearRegulator",
+    "NullSource",
+    "PowerState",
+    "PowerSystem",
+    "RFHarvester",
+    "SolarHarvester",
+    "StorageCapacitor",
+    "TetheredSupply",
+    "TraceDrivenSource",
+    "WispPowerConstants",
+    "make_wisp_power_system",
+    "record_environment",
+]

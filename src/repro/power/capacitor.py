@@ -1,0 +1,114 @@
+"""The energy storage capacitor.
+
+The capacitor is the single energy buffer of the target device: the
+harvester fills it, the MCU drains it, and EDB's charge/discharge
+circuit manipulates it during active-mode debugging.  State is the
+terminal voltage; energy follows ``E = 1/2 C V^2``.
+"""
+
+from __future__ import annotations
+
+from repro.sim import units
+
+
+class StorageCapacitor:
+    """An ideal capacitor with optional self-leakage.
+
+    Parameters
+    ----------
+    capacitance:
+        Capacitance in farads (the WISP 5 uses 47 uF).
+    voltage:
+        Initial terminal voltage in volts.
+    max_voltage:
+        Clamp voltage in volts; charging above this is shunted (models
+        the overvoltage-protection clamp present on harvesting front
+        ends).
+    leakage_resistance:
+        Self-discharge path in ohms (``None`` disables self-leakage).
+    """
+
+    def __init__(
+        self,
+        capacitance: float,
+        voltage: float = 0.0,
+        max_voltage: float = 5.5,
+        leakage_resistance: float | None = None,
+    ) -> None:
+        if capacitance <= 0.0:
+            raise ValueError(f"capacitance must be positive (got {capacitance})")
+        if voltage < 0.0:
+            raise ValueError(f"initial voltage must be non-negative (got {voltage})")
+        self.capacitance = capacitance
+        self.max_voltage = max_voltage
+        self.leakage_resistance = leakage_resistance
+        self._voltage = min(voltage, max_voltage)
+
+    # -- state ----------------------------------------------------------
+    @property
+    def voltage(self) -> float:
+        """Terminal voltage in volts."""
+        return self._voltage
+
+    @voltage.setter
+    def voltage(self, value: float) -> None:
+        self._voltage = min(max(value, 0.0), self.max_voltage)
+
+    @property
+    def energy(self) -> float:
+        """Stored energy in joules (``1/2 C V^2``)."""
+        return units.cap_energy(self.capacitance, self._voltage)
+
+    @property
+    def charge(self) -> float:
+        """Stored charge in coulombs (``Q = C V``)."""
+        return self.capacitance * self._voltage
+
+    def energy_fraction(self, reference_voltage: float) -> float:
+        """Stored energy as a fraction of the energy at ``reference_voltage``.
+
+        The paper reports energy costs "as percentage of 47 uF storage
+        capacity", meaning relative to the energy held at the maximum
+        operating voltage (2.4 V for the WISP).
+        """
+        reference = units.cap_energy(self.capacitance, reference_voltage)
+        return self.energy / reference if reference > 0.0 else 0.0
+
+    # -- energy/charge transfer -----------------------------------------
+    def add_energy(self, energy_j: float) -> None:
+        """Deposit ``energy_j`` joules (clamped at ``max_voltage``)."""
+        if energy_j < 0.0:
+            raise ValueError("use drain_energy() to remove energy")
+        self.voltage = units.cap_voltage(self.capacitance, self.energy + energy_j)
+
+    def drain_energy(self, energy_j: float) -> float:
+        """Remove up to ``energy_j`` joules; returns the amount removed."""
+        if energy_j < 0.0:
+            raise ValueError("use add_energy() to deposit energy")
+        removed = min(energy_j, self.energy)
+        self.voltage = units.cap_voltage(self.capacitance, self.energy - removed)
+        return removed
+
+    def apply_current(self, current_a: float, dt: float) -> None:
+        """Integrate a constant current for ``dt`` seconds.
+
+        Positive current charges, negative discharges.  ``dV = I dt / C``.
+        """
+        if dt < 0.0:
+            raise ValueError(f"dt must be non-negative (got {dt})")
+        self.voltage = self._voltage + current_a * dt / self.capacitance
+
+    def step_leakage(self, dt: float) -> None:
+        """Apply self-discharge through ``leakage_resistance`` for ``dt``."""
+        if self.leakage_resistance is None or self._voltage <= 0.0:
+            return
+        import math
+
+        tau = self.leakage_resistance * self.capacitance
+        self.voltage = self._voltage * math.exp(-dt / tau)
+
+    def __repr__(self) -> str:
+        return (
+            f"StorageCapacitor({self.capacitance / units.UF:.1f}uF, "
+            f"{self._voltage:.3f}V, {self.energy / units.UJ:.2f}uJ)"
+        )

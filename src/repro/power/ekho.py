@@ -1,0 +1,140 @@
+"""Ekho-style recording and replay of harvesting conditions (§6.1).
+
+Ekho [Hester, Scott, Sorber — SenSys'14] records the energy a harvester
+delivers in a real deployment and replays the trace into a device on
+the bench, making intermittent failures *repeatable*.  The paper
+positions EDB as complementary: Ekho reproduces problematic behaviour,
+EDB explains it.
+
+This module provides the recording half over simulated harvesters —
+sample any :class:`EnergySource`'s Thevenin operating point on a fixed
+schedule — and round-trips into the replaying half that already exists
+(:class:`~repro.power.harvester.TraceDrivenSource`).  Traces can be
+saved to and loaded from a simple CSV so deployments can be archived
+and shared.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.power.harvester import EnergySource, TraceDrivenSource
+from repro.sim import units
+from repro.sim.kernel import Event, Simulator
+
+
+class HarvestRecorder:
+    """Samples a source's (Voc, Rs) operating point over time.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel (provides the sampling schedule).
+    source:
+        The live source to record.
+    sample_rate:
+        Samples per second (100 Hz default — harvesting conditions
+        change at environmental, not electrical, timescales).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        source: EnergySource,
+        sample_rate: float = 100.0,
+    ) -> None:
+        if sample_rate <= 0.0:
+            raise ValueError(f"sample rate must be positive (got {sample_rate})")
+        self.sim = sim
+        self.source = source
+        self.sample_rate = sample_rate
+        self.times: list[float] = []
+        self.voc: list[float] = []
+        self.rs: list[float] = []
+        self._event: Event | None = None
+
+    # -- recording ----------------------------------------------------------
+    def start(self) -> None:
+        """Begin recording (immediate first sample)."""
+        if self._event is not None:
+            return
+        self._capture()
+        self._event = self.sim.call_every(1.0 / self.sample_rate, self._capture)
+
+    def stop(self) -> None:
+        """Stop recording."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _capture(self) -> None:
+        t = self.sim.now
+        self.times.append(t)
+        self.voc.append(self.source.open_circuit_voltage(t))
+        self.rs.append(self.source.source_resistance(t))
+
+    @property
+    def sample_count(self) -> int:
+        """Number of samples recorded so far."""
+        return len(self.times)
+
+    # -- replay ----------------------------------------------------------------
+    def to_source(self, rebase_time: bool = True) -> TraceDrivenSource:
+        """Build a replaying source from the recording.
+
+        ``rebase_time`` shifts the trace to start at t=0 so it can be
+        replayed in a fresh simulation.
+        """
+        if not self.times:
+            raise ValueError("nothing recorded yet")
+        t0 = self.times[0] if rebase_time else 0.0
+        return TraceDrivenSource(
+            [t - t0 for t in self.times], list(self.voc), list(self.rs)
+        )
+
+    # -- persistence ---------------------------------------------------------------
+    def to_csv(self) -> str:
+        """Serialise the recording: ``time_s,voc_v,rs_ohm`` rows."""
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(["time_s", "voc_v", "rs_ohm"])
+        for row in zip(self.times, self.voc, self.rs):
+            writer.writerow([f"{v:.9g}" for v in row])
+        return out.getvalue()
+
+    @staticmethod
+    def from_csv(text: str) -> TraceDrivenSource:
+        """Load a replaying source from :meth:`to_csv` output."""
+        reader = csv.reader(io.StringIO(text))
+        header = next(reader, None)
+        if header != ["time_s", "voc_v", "rs_ohm"]:
+            raise ValueError(f"not a harvest trace CSV (header {header!r})")
+        times, voc, rs = [], [], []
+        for row in reader:
+            if not row:
+                continue
+            times.append(float(row[0]))
+            voc.append(float(row[1]))
+            rs.append(float(row[2]))
+        t0 = times[0] if times else 0.0
+        return TraceDrivenSource([t - t0 for t in times], voc, rs)
+
+
+def record_environment(
+    sim: Simulator,
+    source: EnergySource,
+    duration: float,
+    sample_rate: float = 100.0,
+) -> HarvestRecorder:
+    """Convenience: record ``source`` for ``duration`` seconds from now.
+
+    Advances the simulation clock (only do this in a dedicated
+    recording simulation, or interleave with device activity yourself
+    by calling :class:`HarvestRecorder` directly).
+    """
+    recorder = HarvestRecorder(sim, source, sample_rate=sample_rate)
+    recorder.start()
+    sim.advance(duration)
+    recorder.stop()
+    return recorder

@@ -1,0 +1,277 @@
+"""Ambient energy sources.
+
+Every source is reduced to a Thevenin equivalent — an open-circuit
+voltage ``Voc`` behind a source resistance ``Rs`` — feeding the storage
+capacitor through an ideal rectifying diode (no reverse flow).  The high
+``Rs`` of ambient sources is exactly what produces the paper's
+characteristic sawtooth charging (Figure 2B): charge current falls off
+as the capacitor voltage approaches ``Voc``.
+
+Sources implemented:
+
+- :class:`RFHarvester` — RF energy from an RFID reader, with 1/d^2 path
+  loss and optional multipath fading jitter.  This is the source used
+  by the paper's WISP-based evaluation (Impinj reader at 30 dBm, 1 m).
+- :class:`SolarHarvester` — a small PV cell, power proportional to
+  irradiance.
+- :class:`ConstantCurrentSource` — an idealised bench source, useful in
+  tests.
+- :class:`TraceDrivenSource` — replays a recorded ``(time, Voc, Rs)``
+  trace, in the spirit of Ekho [Hester et al., SenSys'14].
+- :class:`TetheredSupply` — a stiff continuous supply; what EDB switches
+  in when it tethers the target (keep-alive asserts, energy guards).
+- :class:`NullSource` — harvests nothing (for pure-discharge tests).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Protocol, Sequence
+
+from repro.sim import units
+from repro.sim.rng import RngHub
+
+
+class EnergySource(Protocol):
+    """Thevenin view of an energy source at a given simulated time."""
+
+    def open_circuit_voltage(self, t: float) -> float:
+        """Open-circuit voltage ``Voc`` in volts at time ``t``."""
+        ...
+
+    def source_resistance(self, t: float) -> float:
+        """Source resistance ``Rs`` in ohms at time ``t``."""
+        ...
+
+
+class NullSource:
+    """A source that supplies no energy at all."""
+
+    def open_circuit_voltage(self, t: float) -> float:
+        return 0.0
+
+    def source_resistance(self, t: float) -> float:
+        return 1.0 * units.MOHM
+
+
+class ConstantCurrentSource:
+    """Idealised source that pushes a fixed current below a compliance voltage.
+
+    Modelled as ``Voc = compliance_v`` with ``Rs`` chosen so the
+    short-circuit current equals ``current_a``.
+    """
+
+    def __init__(self, current_a: float, compliance_v: float = 3.3) -> None:
+        if current_a <= 0.0:
+            raise ValueError(f"current must be positive (got {current_a})")
+        self.current_a = current_a
+        self.compliance_v = compliance_v
+
+    def open_circuit_voltage(self, t: float) -> float:
+        return self.compliance_v
+
+    def source_resistance(self, t: float) -> float:
+        return self.compliance_v / self.current_a
+
+
+class RFHarvester:
+    """RF energy harvesting front end (antenna + rectifier + boost).
+
+    Parameters
+    ----------
+    tx_power_dbm:
+        Reader transmit power (the paper uses up to 30 dBm).
+    distance_m:
+        Antenna-to-tag distance; harvestable power falls off as 1/d^2
+        (the paper: "the amount of harvestable energy is inversely
+        proportional to this distance").
+    efficiency:
+        End-to-end RF-to-DC conversion efficiency of the rectifier and
+        boost converter (WISP-class front ends achieve a few percent at
+        1 m).
+    open_voltage:
+        Boost-converter output clamp, i.e. the Thevenin ``Voc``.
+    reference_gain:
+        Lumped antenna-gain / wavelength constant, calibrated so that a
+        30 dBm reader at 1 m yields ~2 mW of harvestable power — enough
+        that a WISP drawing ~1 mA mostly stays up at 1 m (the paper's
+        RFID firmware answers 86 % of queries there) while discharge
+        cycles lengthen and charging dominates as distance grows.
+    fading_sigma:
+        Log-normal shadowing sigma (dB); 0 disables fading jitter.
+    rng:
+        Hub for the fading stream (required when ``fading_sigma > 0``).
+    """
+
+    def __init__(
+        self,
+        tx_power_dbm: float = 30.0,
+        distance_m: float = 1.0,
+        efficiency: float = 0.03,
+        open_voltage: float = 3.3,
+        reference_gain: float = 0.065,
+        fading_sigma: float = 0.0,
+        rng: RngHub | None = None,
+    ) -> None:
+        if distance_m <= 0.0:
+            raise ValueError(f"distance must be positive (got {distance_m})")
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError(f"efficiency must be in (0, 1] (got {efficiency})")
+        self.tx_power_dbm = tx_power_dbm
+        self.distance_m = distance_m
+        self.efficiency = efficiency
+        self.open_voltage = open_voltage
+        self.reference_gain = reference_gain
+        self.fading_sigma = fading_sigma
+        self._rng = rng
+        self._fade_db = 0.0
+        self._fade_until = -1.0
+        self.enabled = True
+
+    def harvested_power(self, t: float) -> float:
+        """DC power available to the storage element, in watts."""
+        if not self.enabled:
+            return 0.0
+        tx_watts = units.dbm_to_watts(self.tx_power_dbm)
+        received = tx_watts * self.reference_gain / (self.distance_m**2)
+        power = received * self.efficiency
+        if self.fading_sigma > 0.0 and self._rng is not None:
+            power *= 10.0 ** (self._fade_db_at(t) / 10.0)
+        return power
+
+    def _fade_db_at(self, t: float) -> float:
+        # Hold each fading draw for a coherence interval of 10 ms.
+        if t >= self._fade_until:
+            self._fade_db = self._rng.gauss("rf-fading", 0.0, self.fading_sigma)
+            self._fade_until = t + 10 * units.MS
+        return self._fade_db
+
+    def open_circuit_voltage(self, t: float) -> float:
+        return self.open_voltage if self.harvested_power(t) > 0.0 else 0.0
+
+    def source_resistance(self, t: float) -> float:
+        power = self.harvested_power(t)
+        if power <= 0.0:
+            return 1.0 * units.MOHM
+        # Maximum power transfer: P_available = Voc^2 / (4 Rs).
+        return self.open_voltage**2 / (4.0 * power)
+
+
+class SolarHarvester:
+    """A small photovoltaic cell under indoor/outdoor irradiance.
+
+    ``power = area * irradiance * efficiency``; the Thevenin mapping is
+    the same maximum-power-transfer construction as the RF harvester.
+    """
+
+    def __init__(
+        self,
+        irradiance_w_m2: float = 300.0,
+        area_m2: float = 2e-4,
+        efficiency: float = 0.15,
+        open_voltage: float = 3.0,
+    ) -> None:
+        if irradiance_w_m2 < 0.0:
+            raise ValueError("irradiance must be non-negative")
+        self.irradiance_w_m2 = irradiance_w_m2
+        self.area_m2 = area_m2
+        self.efficiency = efficiency
+        self.open_voltage = open_voltage
+
+    def harvested_power(self, t: float) -> float:
+        """DC power available from the cell, in watts."""
+        return self.irradiance_w_m2 * self.area_m2 * self.efficiency
+
+    def open_circuit_voltage(self, t: float) -> float:
+        return self.open_voltage if self.harvested_power(t) > 0.0 else 0.0
+
+    def source_resistance(self, t: float) -> float:
+        power = self.harvested_power(t)
+        if power <= 0.0:
+            return 1.0 * units.MOHM
+        return self.open_voltage**2 / (4.0 * power)
+
+
+class TraceDrivenSource:
+    """Replays a recorded harvesting-condition trace (Ekho-style).
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing sample times (seconds).
+    voc:
+        Open-circuit voltage at each sample.
+    rs:
+        Source resistance at each sample (ohms).
+
+    Between samples the most recent sample holds (zero-order hold);
+    before the first sample the first sample holds.
+    """
+
+    def __init__(
+        self, times: Sequence[float], voc: Sequence[float], rs: Sequence[float]
+    ) -> None:
+        if not times:
+            raise ValueError("trace must contain at least one sample")
+        if len(times) != len(voc) or len(times) != len(rs):
+            raise ValueError("times, voc, rs must have equal length")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("trace times must be strictly increasing")
+        self.times = list(times)
+        self.voc = list(voc)
+        self.rs = list(rs)
+
+    def _index(self, t: float) -> int:
+        return max(0, bisect.bisect_right(self.times, t) - 1)
+
+    def open_circuit_voltage(self, t: float) -> float:
+        return self.voc[self._index(t)]
+
+    def source_resistance(self, t: float) -> float:
+        return self.rs[self._index(t)]
+
+
+class TetheredSupply:
+    """A stiff, continuous power supply (EDB's tether).
+
+    Low source resistance means the capacitor charges to ``voltage``
+    almost immediately and the load can draw arbitrarily much — this is
+    what gives active-mode debugging its "arbitrary energy" property.
+    """
+
+    def __init__(self, voltage: float = 3.0, resistance: float = 10.0) -> None:
+        self.voltage = voltage
+        self.resistance = resistance
+
+    def open_circuit_voltage(self, t: float) -> float:
+        return self.voltage
+
+    def source_resistance(self, t: float) -> float:
+        return self.resistance
+
+
+def charge_step(
+    v0: float,
+    voc: float,
+    rs: float,
+    capacitance: float,
+    load_current: float,
+    dt: float,
+) -> float:
+    """Advance a source-fed, load-drained capacitor by ``dt`` seconds.
+
+    Solves the linear ODE ``C dV/dt = (Voc - V)/Rs - I_load`` exactly
+    over the step when the source conducts, and falls back to pure
+    linear discharge when the rectifier blocks (``Voc <= V``).
+
+    Returns the new capacitor voltage (not clamped; the caller clamps).
+    """
+    if dt <= 0.0:
+        return v0
+    if voc > v0:
+        tau = rs * capacitance
+        v_inf = voc - load_current * rs
+        return v_inf + (v0 - v_inf) * math.exp(-dt / tau)
+    # Rectifier blocks: the load linearly discharges the capacitor.
+    return v0 - load_current * dt / capacitance

@@ -1,0 +1,119 @@
+"""Harvesting-environment profiles.
+
+A profile changes the harvesting conditions over simulated time —
+moving the tag away from the reader, duty-cycling the reader, or
+clouding over a solar cell.  Profiles drive the evaluation's "realistic
+deployment" scenarios, where harvesting is neither constant nor
+guaranteed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.power.harvester import RFHarvester, TraceDrivenSource
+from repro.sim import units
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class DistanceStep:
+    """One segment of a movement profile: hold ``distance_m`` for ``duration_s``."""
+
+    distance_m: float
+    duration_s: float
+
+
+class MovementProfile:
+    """Moves an :class:`RFHarvester` through a sequence of distances.
+
+    The profile schedules one simulation event per step; after the last
+    step the final distance holds indefinitely.
+    """
+
+    def __init__(
+        self, sim: Simulator, harvester: RFHarvester, steps: Sequence[DistanceStep]
+    ) -> None:
+        if not steps:
+            raise ValueError("movement profile needs at least one step")
+        self.sim = sim
+        self.harvester = harvester
+        self.steps = list(steps)
+        self._install()
+
+    def _install(self) -> None:
+        t = self.sim.now
+        for step in self.steps:
+            self.sim.call_at(t, self._make_setter(step.distance_m))
+            t += step.duration_s
+
+    def _make_setter(self, distance_m: float):
+        def setter() -> None:
+            self.harvester.distance_m = distance_m
+            self.sim.trace.record("env.distance", distance_m)
+
+        return setter
+
+
+class ReaderDutyCycle:
+    """Duty-cycles an RFID reader's carrier on and off.
+
+    Models deployments where the reader inventories in bursts; while the
+    carrier is off the tag harvests nothing.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        harvester: RFHarvester,
+        on_time: float = 500 * units.MS,
+        off_time: float = 100 * units.MS,
+    ) -> None:
+        if on_time <= 0.0 or off_time < 0.0:
+            raise ValueError("on_time must be positive, off_time non-negative")
+        self.sim = sim
+        self.harvester = harvester
+        self.on_time = on_time
+        self.off_time = off_time
+        self._schedule_edge(turn_on=False, at=sim.now + on_time)
+
+    def _schedule_edge(self, turn_on: bool, at: float) -> None:
+        def edge() -> None:
+            self.harvester.enabled = turn_on
+            self.sim.trace.record("env.reader_carrier", turn_on)
+            dwell = self.on_time if turn_on else self.off_time
+            self._schedule_edge(turn_on=not turn_on, at=self.sim.now + dwell)
+
+        self.sim.call_at(at, edge)
+
+
+def sawtooth_rf_trace(
+    duration_s: float,
+    period_s: float = 200 * units.MS,
+    voc_high: float = 3.3,
+    voc_low: float = 0.0,
+    rs: float = 5 * units.KOHM,
+    duty: float = 0.7,
+) -> TraceDrivenSource:
+    """Synthesise a bursty RF availability trace (Ekho-style replay).
+
+    The source alternates between a harvesting segment (``voc_high``)
+    lasting ``duty * period`` and a dead segment (``voc_low``), which
+    produces realistic charge-starve-charge behaviour for tests.
+    """
+    if not 0.0 < duty < 1.0:
+        raise ValueError(f"duty must be in (0, 1) (got {duty})")
+    times: list[float] = []
+    voc: list[float] = []
+    rs_values: list[float] = []
+    t = 0.0
+    while t < duration_s:
+        times.append(t)
+        voc.append(voc_high)
+        rs_values.append(rs)
+        times.append(t + duty * period_s)
+        voc.append(voc_low)
+        rs_values.append(rs)
+        t += period_s
+    return TraceDrivenSource(times, voc, rs_values)

@@ -1,0 +1,68 @@
+"""The target's on-board voltage regulator.
+
+The paper's Figure 5 shows a regulator between the harvesting front end
+and the MCU, with its output (``Vreg``) exposed to EDB both for energy
+monitoring and as the level-shifter voltage reference.  Section 4.1.2
+notes that ``Vreg`` *drops below its nominal value during a power
+failure* — EDB must track that drop to keep its level shifters within
++/-0.3 V of the target rail.  The model below reproduces exactly that
+behaviour: in dropout, the output follows the input minus the dropout
+voltage.
+"""
+
+from __future__ import annotations
+
+from repro.sim import units
+
+
+class LinearRegulator:
+    """A low-dropout (LDO) linear regulator.
+
+    Parameters
+    ----------
+    nominal_output:
+        Regulated output voltage in volts.
+    dropout:
+        Minimum input-output differential; below ``nominal_output +
+        dropout`` at the input, the output tracks ``Vin - dropout``.
+    quiescent_current:
+        Ground-pin current drawn whenever the input is up, in amperes.
+    """
+
+    def __init__(
+        self,
+        nominal_output: float = 2.0,
+        dropout: float = 0.10,
+        quiescent_current: float = 1.0 * units.UA,
+    ) -> None:
+        if nominal_output <= 0.0:
+            raise ValueError("nominal output must be positive")
+        if dropout < 0.0:
+            raise ValueError("dropout must be non-negative")
+        self.nominal_output = nominal_output
+        self.dropout = dropout
+        self.quiescent_current = quiescent_current
+
+    def output_voltage(self, input_voltage: float) -> float:
+        """Regulated output for a given input (capacitor) voltage.
+
+        In regulation the output is ``nominal_output``; in dropout it
+        tracks ``input - dropout``; with no input it is zero.
+        """
+        if input_voltage <= self.dropout:
+            return 0.0
+        return min(self.nominal_output, input_voltage - self.dropout)
+
+    def in_dropout(self, input_voltage: float) -> bool:
+        """True when the input is too low to hold the nominal output."""
+        return input_voltage < self.nominal_output + self.dropout
+
+    def input_current(self, input_voltage: float, load_current: float) -> float:
+        """Total current pulled from the input rail.
+
+        An LDO passes the load current straight through and adds its
+        quiescent draw while the input is up.
+        """
+        if input_voltage <= 0.0:
+            return 0.0
+        return load_current + self.quiescent_current

@@ -1,0 +1,249 @@
+"""The intermittent power system: harvester + capacitor + comparator.
+
+:class:`PowerSystem` glues an :class:`~repro.power.harvester.EnergySource`
+to a :class:`~repro.power.capacitor.StorageCapacitor` and a regulator,
+and applies the hysteresis comparator that defines intermittent
+operation: the load turns on when the capacitor reaches the *turn-on
+threshold* and browns out when it falls below the *brown-out threshold*
+(2.4 V and 1.8 V on the WISP 5).
+
+The power system is also the point where EDB touches the target's
+energy state:
+
+- passive-mode leakage currents are injected via
+  :meth:`PowerSystem.inject_current`;
+- active-mode tethering swaps in a stiff supply via
+  :meth:`PowerSystem.tether`;
+- the charge/discharge circuit manipulates the capacitor directly
+  (see :mod:`repro.analog.charge_circuit`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.power.capacitor import StorageCapacitor
+from repro.power.harvester import EnergySource, charge_step
+from repro.power.regulator import LinearRegulator
+from repro.sim import units
+from repro.sim.kernel import Simulator
+
+
+class PowerState(enum.Enum):
+    """Operating state of the intermittently powered load."""
+
+    OFF = "off"  # below turn-on threshold, charging
+    ON = "on"  # operating, discharging toward brown-out
+
+
+class PowerSystem:
+    """Intermittent supply with hysteresis thresholds.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel (clock + trace).
+    source:
+        Ambient energy source (Thevenin model).
+    capacitor:
+        Energy storage element.
+    regulator:
+        On-board LDO feeding the MCU.
+    turn_on_voltage / brownout_voltage:
+        Comparator thresholds in volts; turn-on must exceed brown-out.
+    trace_channel:
+        Channel prefix for power events in the simulation trace.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        source: EnergySource,
+        capacitor: StorageCapacitor,
+        regulator: LinearRegulator | None = None,
+        turn_on_voltage: float = 2.4,
+        brownout_voltage: float = 1.8,
+        trace_channel: str = "power",
+    ) -> None:
+        if turn_on_voltage <= brownout_voltage:
+            raise ValueError(
+                f"turn-on threshold ({turn_on_voltage} V) must exceed "
+                f"brown-out threshold ({brownout_voltage} V)"
+            )
+        self.sim = sim
+        self.source = source
+        self.capacitor = capacitor
+        self.regulator = regulator or LinearRegulator()
+        self.turn_on_voltage = turn_on_voltage
+        self.brownout_voltage = brownout_voltage
+        self.trace_channel = trace_channel
+
+        self._state = PowerState.OFF
+        self._tether: EnergySource | None = None
+        self._injected_current = 0.0
+        self.reboots = 0
+        self.turn_ons = 0
+        self.on_power_change: list[Callable[[PowerState], None]] = []
+        self._refresh_state(initial=True)
+
+    # -- observers --------------------------------------------------------
+    @property
+    def vcap(self) -> float:
+        """Capacitor (storage) voltage in volts."""
+        return self.capacitor.voltage
+
+    @property
+    def vreg(self) -> float:
+        """Regulated rail voltage in volts (tracks Vcap in dropout)."""
+        return self.regulator.output_voltage(self.capacitor.voltage)
+
+    @property
+    def state(self) -> PowerState:
+        """Current comparator state."""
+        return self._state
+
+    @property
+    def is_on(self) -> bool:
+        """True while the load is powered.
+
+        Either the comparator is in its ON state (between turn-on and
+        brown-out), or EDB has tethered the target to a continuous
+        supply — a tethered MCU is powered regardless of the stored
+        energy level (that is the whole point of keep-alive).
+        """
+        return self._state is PowerState.ON or self.is_tethered
+
+    @property
+    def is_tethered(self) -> bool:
+        """True while EDB has swapped in a continuous supply."""
+        return self._tether is not None
+
+    def headroom_energy(self) -> float:
+        """Usable energy above the brown-out threshold, in joules."""
+        floor = units.cap_energy(self.capacitor.capacitance, self.brownout_voltage)
+        return max(0.0, self.capacitor.energy - floor)
+
+    # -- EDB attachment points ---------------------------------------------
+    def inject_current(self, current_a: float) -> None:
+        """Set the net DC current injected by an attached debugger.
+
+        Positive current charges the target (energy-interference *into*
+        the device); negative discharges it.  The value persists until
+        changed — it models a steady leakage operating point.
+        """
+        self._injected_current = current_a
+
+    @property
+    def injected_current(self) -> float:
+        """Currently injected debugger-side DC current (amperes)."""
+        return self._injected_current
+
+    def tether(self, supply: EnergySource) -> None:
+        """Power the target from ``supply`` instead of the harvester."""
+        self._tether = supply
+
+    def untether(self) -> None:
+        """Return the target to harvested power."""
+        self._tether = None
+
+    # -- dynamics -----------------------------------------------------------
+    def _active_source(self) -> EnergySource:
+        return self._tether if self._tether is not None else self.source
+
+    def step(self, dt: float, load_current: float = 0.0) -> bool:
+        """Advance the electrical state by ``dt`` with the given load.
+
+        ``load_current`` is what the MCU and peripherals draw from the
+        regulator; the regulator adds its quiescent current.  Returns
+        ``True`` if the load is still powered after the step.
+        """
+        if dt < 0.0:
+            raise ValueError(f"dt must be non-negative (got {dt})")
+        source = self._active_source()
+        t = self.sim.now
+        input_current = self.regulator.input_current(self.vcap, load_current)
+        net_load = input_current - self._injected_current
+        new_v = charge_step(
+            v0=self.capacitor.voltage,
+            voc=source.open_circuit_voltage(t),
+            rs=source.source_resistance(t),
+            capacitance=self.capacitor.capacitance,
+            load_current=net_load,
+            dt=dt,
+        )
+        self.capacitor.voltage = new_v
+        self.capacitor.step_leakage(dt)
+        self._refresh_state()
+        return self.is_on
+
+    def idle_step(self, dt: float) -> None:
+        """Advance the electrical state with the load powered off.
+
+        Used for the charging portion of each charge/discharge cycle:
+        only the harvester (or tether) and any injected debugger current
+        act on the capacitor.
+        """
+        self.step(dt, load_current=0.0)
+
+    def charge_until_on(
+        self, step_dt: float = 100 * units.US, timeout: float = 10.0
+    ) -> float:
+        """Simulate the off period until the turn-on threshold is reached.
+
+        Advances the simulation clock (so scheduled events — e.g. EDB's
+        ADC sampling — keep firing while the target is dark).  Returns
+        the charging time spent.  Raises :class:`ChargingTimeout` if the
+        source cannot reach the threshold within ``timeout`` seconds —
+        which happens when debugging instrumentation (or a broken app)
+        out-draws the harvester.
+        """
+        start = self.sim.now
+        while not self.is_on:
+            if self.sim.now - start > timeout:
+                raise ChargingTimeout(
+                    f"capacitor stuck at {self.vcap:.3f} V after "
+                    f"{timeout:.2f} s of charging (turn-on is "
+                    f"{self.turn_on_voltage:.2f} V)"
+                )
+            self.sim.advance(step_dt)
+            self.idle_step(step_dt)
+        return self.sim.now - start
+
+    def reset_comparator(self) -> None:
+        """Re-evaluate the comparator from scratch (cold-start rules).
+
+        Used after externally forcing the capacitor voltage (e.g. the
+        executor restoring the pre-flash level): the load is considered
+        OFF unless the voltage is at or above the turn-on threshold.
+        """
+        self._state = (
+            PowerState.ON
+            if self.capacitor.voltage >= self.turn_on_voltage
+            else PowerState.OFF
+        )
+
+    def _refresh_state(self, initial: bool = False) -> None:
+        v = self.capacitor.voltage
+        if self._state is PowerState.ON:
+            # A tethered target cannot brown out: the stiff supply holds
+            # the rail above the threshold by construction, but guard
+            # against a mid-step dip while the tether charges the cap.
+            if v < self.brownout_voltage and not self.is_tethered:
+                self._state = PowerState.OFF
+                self.reboots += 1
+                self.sim.trace.record(f"{self.trace_channel}.brownout", v)
+                for hook in self.on_power_change:
+                    hook(self._state)
+        else:
+            if v >= self.turn_on_voltage:
+                self._state = PowerState.ON
+                self.turn_ons += 1
+                if not initial:
+                    self.sim.trace.record(f"{self.trace_channel}.turn_on", v)
+                for hook in self.on_power_change:
+                    hook(self._state)
+
+
+class ChargingTimeout(RuntimeError):
+    """The harvester could not bring the capacitor up to turn-on."""

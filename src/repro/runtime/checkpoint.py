@@ -1,0 +1,164 @@
+"""Mementos-style volatile-context checkpointing for the ISA core.
+
+A checkpoint copies the volatile execution context — the register file
+(including PC, SP, and SR) plus the live portion of the stack — into a
+reserved FRAM area.  On reboot, the runtime restores the most recent
+*committed* checkpoint instead of restarting from the entry point.
+
+Checkpoints are double-buffered with a commit flag written last, so a
+power failure *during* checkpointing never leaves a torn snapshot: the
+previous committed checkpoint remains valid (this is the correctness
+property prior work [Ransford et al. ASPLOS'11; Jayakumar et al. 2014]
+establishes, and the property-based tests here verify).
+
+Note the paper's central observation still holds with checkpointing in
+place: execution resumes at the *checkpoint*, not at the failure point,
+so non-volatile writes performed after the checkpoint are re-executed —
+which is precisely how Figure 3's list corruption arises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mcu.cpu import Cpu
+from repro.mcu.device import TargetDevice
+from repro.mcu.isa import NUM_REGISTERS
+from repro.mcu.memory import SRAM_BASE, SRAM_SIZE
+
+# FRAM layout of one checkpoint slot:
+#   [0]  sequence number (0 = empty)
+#   [2]  stack byte count
+#   [4]  16 register words
+#   [36] stack image (up to MAX_STACK bytes)
+_SEQ_OFF = 0
+_STACK_LEN_OFF = 2
+_REGS_OFF = 4
+_STACK_OFF = _REGS_OFF + 2 * NUM_REGISTERS
+MAX_STACK = 256
+SLOT_SIZE = _STACK_OFF + MAX_STACK
+
+CHECKPOINT_CYCLES_BASE = 40  # bookkeeping overhead per checkpoint
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Metadata of a committed checkpoint."""
+
+    sequence: int
+    pc: int
+    sp: int
+    stack_bytes: int
+
+
+class CheckpointManager:
+    """Double-buffered checkpoint store in FRAM.
+
+    Parameters
+    ----------
+    device:
+        The target whose CPU context is checkpointed.
+    base_address:
+        FRAM address of the two checkpoint slots (``2 * SLOT_SIZE``
+        bytes are used).
+    """
+
+    def __init__(self, device: TargetDevice, base_address: int) -> None:
+        self.device = device
+        self.base_address = base_address
+        self.checkpoints_taken = 0
+        self.restores = 0
+
+    # -- slot helpers -----------------------------------------------------
+    def _slot_address(self, slot: int) -> int:
+        return self.base_address + slot * SLOT_SIZE
+
+    def _slot_sequence(self, slot: int) -> int:
+        return self.device.memory.read_u16(self._slot_address(slot) + _SEQ_OFF)
+
+    def _committed_slot(self) -> int | None:
+        """Index of the slot holding the newest committed checkpoint."""
+        seq0 = self._slot_sequence(0)
+        seq1 = self._slot_sequence(1)
+        if seq0 == 0 and seq1 == 0:
+            return None
+        return 0 if seq0 >= seq1 else 1
+
+    def erase(self) -> None:
+        """Invalidate both slots (used when flashing a new program)."""
+        for slot in (0, 1):
+            self.device.memory.write_u16(self._slot_address(slot) + _SEQ_OFF, 0)
+
+    # -- checkpoint / restore -------------------------------------------------
+    def checkpoint(self) -> CheckpointInfo:
+        """Snapshot the CPU's volatile context into the stale slot.
+
+        Costs cycles proportional to the amount of state copied, and is
+        interruptible: the sequence number is written *last*, so a
+        power failure mid-copy leaves the slot uncommitted.
+        """
+        cpu = self.device.cpu
+        committed = self._committed_slot()
+        target_slot = 0 if committed in (None, 1) else 1
+        sequence = (
+            1 if committed is None else self._slot_sequence(committed) + 1
+        )
+        stack_top = SRAM_BASE + SRAM_SIZE
+        stack_bytes = stack_top - cpu.sp
+        if not 0 <= stack_bytes <= MAX_STACK:
+            raise ValueError(
+                f"stack image of {stack_bytes} bytes exceeds checkpoint "
+                f"capacity ({MAX_STACK})"
+            )
+        base = self._slot_address(target_slot)
+        memory = self.device.memory
+        # Copy costs: ~2 cycles per word moved to FRAM.
+        words_moved = NUM_REGISTERS + stack_bytes // 2 + 2
+        self.device.execute_cycles(CHECKPOINT_CYCLES_BASE + 2 * words_moved)
+        memory.write_u16(base + _STACK_LEN_OFF, stack_bytes)
+        for i, value in enumerate(cpu.registers):
+            memory.write_u16(base + _REGS_OFF + 2 * i, value)
+        if stack_bytes:
+            memory.write_bytes(
+                base + _STACK_OFF, memory.read_bytes(cpu.sp, stack_bytes)
+            )
+        # Commit point: the sequence-number write makes the slot live.
+        memory.write_u16(base + _SEQ_OFF, sequence & 0xFFFF or 1)
+        self.checkpoints_taken += 1
+        return CheckpointInfo(
+            sequence=sequence,
+            pc=cpu.registers[0],
+            sp=cpu.sp,
+            stack_bytes=stack_bytes,
+        )
+
+    def restore(self) -> CheckpointInfo | None:
+        """Restore the newest committed checkpoint into the CPU.
+
+        Returns ``None`` (leaving the CPU at the entry point) when no
+        committed checkpoint exists.
+        """
+        committed = self._committed_slot()
+        if committed is None:
+            return None
+        base = self._slot_address(committed)
+        memory = self.device.memory
+        cpu: Cpu = self.device.cpu
+        stack_bytes = memory.read_u16(base + _STACK_LEN_OFF)
+        words_moved = NUM_REGISTERS + stack_bytes // 2 + 2
+        self.device.execute_cycles(CHECKPOINT_CYCLES_BASE + 2 * words_moved)
+        cpu.registers = [
+            memory.read_u16(base + _REGS_OFF + 2 * i) for i in range(NUM_REGISTERS)
+        ]
+        if stack_bytes:
+            memory.write_bytes(
+                cpu.sp, memory.read_bytes(base + _STACK_OFF, stack_bytes)
+            )
+        cpu.halted = False
+        self.restores += 1
+        return CheckpointInfo(
+            sequence=self._slot_sequence(committed),
+            pc=cpu.registers[0],
+            sp=cpu.sp,
+            stack_bytes=stack_bytes,
+        )

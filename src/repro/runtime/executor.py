@@ -1,0 +1,281 @@
+"""The intermittent execution loop.
+
+:class:`IntermittentExecutor` runs a program the way an energy-
+harvesting device runs it: charge the capacitor to the turn-on
+threshold, reboot (clearing volatile state), execute ``main()`` until
+the supply browns out, and repeat — tens to hundreds of times per
+second.  A continuous-power mode is provided as the control condition
+(what a JTAG-style debugger would impose on the target).
+
+The executor also understands the ways an intermittent run can end:
+
+- the workload finishes (:class:`~repro.mcu.hlapi.ProgramComplete`),
+- the simulated-time budget expires,
+- an EDB keep-alive assertion fails and halts the target
+  (:class:`~repro.core.libedb.AssertionHalt`),
+- the program corrupts memory and wedges (a
+  :class:`~repro.mcu.memory.MemoryFault` on every subsequent boot —
+  the paper's "only way to recover is to re-flash" state).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.mcu.device import ExecutionLimit, PowerFailure, TargetDevice
+from repro.mcu.hlapi import DeviceAPI, ProgramComplete
+from repro.mcu.memory import MemoryFault
+from repro.power.harvester import TetheredSupply
+from repro.power.supply import ChargingTimeout
+from repro.sim.kernel import Simulator
+
+
+class RunStatus(enum.Enum):
+    """How an intermittent run ended."""
+
+    COMPLETED = "completed"
+    TIMEOUT = "timeout"  # simulated-time budget expired (apps loop forever)
+    ASSERT_FAILED = "assert_failed"  # EDB keep-alive assert halted the target
+    CRASHED = "crashed"  # unrecoverable memory corruption
+    STARVED = "starved"  # harvester could not reach turn-on
+
+
+@dataclass
+class RunResult:
+    """Outcome and statistics of one intermittent (or continuous) run."""
+
+    status: RunStatus
+    sim_time: float
+    reboots: int
+    boots: int
+    faults: list[str] = field(default_factory=list)
+    first_fault_time: float | None = None
+    detail: Any = None
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult({self.status.value}, t={self.sim_time * 1e3:.1f}ms, "
+            f"boots={self.boots}, reboots={self.reboots}, "
+            f"faults={len(self.faults)})"
+        )
+
+
+class IntermittentExecutor:
+    """Drives a high-level program across charge/discharge cycles.
+
+    Parameters
+    ----------
+    sim / device:
+        The simulation kernel and the target.
+    program:
+        Any object with ``main(api)`` (see
+        :class:`~repro.mcu.hlapi.IntermittentProgram`); an optional
+        ``flash(api)`` initialises FRAM once before the first boot.
+    edb:
+        Target-side libEDB to link into the application, or ``None``
+        for a release build.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: TargetDevice,
+        program: Any,
+        edb: Any = None,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.program = program
+        self.api = DeviceAPI(device, edb=edb)
+        self._flashed = False
+
+    def flash(self) -> None:
+        """Initialise the program's FRAM image (like flashing over JTAG).
+
+        A programmer powers the device while flashing, so the image
+        initialisation runs on a temporary tether; afterwards the
+        capacitor is returned to its pre-flash level and the device is
+        back on harvested power.
+        """
+        if hasattr(self.program, "flash"):
+            power = self.device.power
+            v_before = power.vcap
+            power.tether(TetheredSupply(voltage=3.0, resistance=1.0))
+            self.sim.advance(1e-3)
+            power.step(1e-3)
+            try:
+                self.program.flash(self.api)
+            finally:
+                power.untether()
+                power.capacitor.voltage = v_before
+                power.reset_comparator()
+        self._flashed = True
+
+    # -- the intermittent loop -------------------------------------------------
+    def run(
+        self,
+        duration: float,
+        max_boots: int | None = None,
+        stop_on_fault: bool = False,
+    ) -> RunResult:
+        """Run intermittently for ``duration`` seconds of simulated time.
+
+        Parameters
+        ----------
+        duration:
+            Simulated-time budget, measured from the current clock.
+        max_boots:
+            Optional cap on powered execution attempts.
+        stop_on_fault:
+            Return as soon as the first memory fault occurs instead of
+            letting the device keep crash-looping (the paper's symptom
+            phase); the fault is recorded either way.
+        """
+        if not self._flashed:
+            self.flash()
+        deadline = self.sim.now + duration
+        self.device.stop_after = deadline
+        start_reboots = self.device.reboot_count
+        boots = 0
+        faults: list[str] = []
+        first_fault: float | None = None
+        status = RunStatus.TIMEOUT
+        detail = None
+        try:
+            while self.sim.now < deadline:
+                if max_boots is not None and boots >= max_boots:
+                    break
+                if not self.device.power.is_on:
+                    try:
+                        # Never charge (much) past the run deadline,
+                        # and call a target starved if it cannot reach turn-on within a
+                        # couple of seconds (organic charge times are tens of
+                        # milliseconds).
+                        self.device.power.charge_until_on(
+                            timeout=min(
+                                2.0, max(0.01, deadline - self.sim.now) + 0.1
+                            )
+                        )
+                    except ChargingTimeout as exc:
+                        if self.sim.now >= deadline:
+                            break
+                        status = RunStatus.STARVED
+                        detail = str(exc)
+                        break
+                    if self.sim.now >= deadline:
+                        break
+                self.device.reboot()
+                boots += 1
+                try:
+                    self.program.main(self.api)
+                    status = RunStatus.COMPLETED
+                    break
+                except ProgramComplete as exc:
+                    status = RunStatus.COMPLETED
+                    detail = exc.args[0] if exc.args else None
+                    break
+                except PowerFailure:
+                    continue
+                except MemoryFault as fault:
+                    faults.append(str(fault))
+                    if first_fault is None:
+                        first_fault = self.sim.now
+                    self.sim.trace.record("target.fault", str(fault))
+                    if stop_on_fault:
+                        status = RunStatus.CRASHED
+                        break
+                    # Undefined behaviour: the wedged program burns the
+                    # rest of the charge cycle doing nothing useful.
+                    try:
+                        self.api.drain_until_brownout()
+                    except PowerFailure:
+                        continue
+                except AssertionHaltSignal as halt:
+                    status = RunStatus.ASSERT_FAILED
+                    detail = halt
+                    break
+            else:
+                status = RunStatus.TIMEOUT
+            if faults and status is RunStatus.TIMEOUT:
+                status = RunStatus.CRASHED
+        except ExecutionLimit:
+            status = RunStatus.CRASHED if faults else RunStatus.TIMEOUT
+        finally:
+            self.device.stop_after = None
+        return RunResult(
+            status=status,
+            sim_time=self.sim.now,
+            reboots=self.device.reboot_count - start_reboots,
+            boots=boots,
+            faults=faults,
+            first_fault_time=first_fault,
+            detail=detail,
+        )
+
+    # -- the control condition ---------------------------------------------------
+    def run_continuous(
+        self, duration: float, supply_voltage: float = 3.0
+    ) -> RunResult:
+        """Run on continuous (tethered) power — what JTAG would impose.
+
+        This is the paper's control: with continuous power the
+        intermittence bug *never* manifests, which is exactly why
+        conventional debuggers cannot reproduce it.
+        """
+        if not self._flashed:
+            self.flash()
+        deadline = self.sim.now + duration
+        self.device.stop_after = deadline
+        supply = TetheredSupply(voltage=supply_voltage)
+        self.device.power.tether(supply)
+        faults: list[str] = []
+        status = RunStatus.TIMEOUT
+        detail = None
+        boots = 0
+        try:
+            # Bring the rail up instantly (bench supplies are stiff).
+            self.device.power.capacitor.voltage = supply_voltage
+            self.device.power.step(0.0)
+            self.device.reboot()
+            boots = 1
+            try:
+                self.program.main(self.api)
+                status = RunStatus.COMPLETED
+            except ProgramComplete as exc:
+                status = RunStatus.COMPLETED
+                detail = exc.args[0] if exc.args else None
+            except MemoryFault as fault:
+                faults.append(str(fault))
+                status = RunStatus.CRASHED
+            except AssertionHaltSignal as halt:
+                status = RunStatus.ASSERT_FAILED
+                detail = halt
+        except ExecutionLimit:
+            status = RunStatus.TIMEOUT
+        finally:
+            self.device.stop_after = None
+            self.device.power.untether()
+        return RunResult(
+            status=status,
+            sim_time=self.sim.now,
+            reboots=0,
+            boots=boots,
+            faults=faults,
+            first_fault_time=None,
+            detail=detail,
+        )
+
+
+class AssertionHaltSignal(Exception):
+    """Raised by libEDB when a failed keep-alive assert halts the target.
+
+    Defined here (rather than in :mod:`repro.core.libedb`) so the
+    runtime layer has no import dependency on the debugger package; the
+    debugger raises this very class.
+    """
+
+    def __init__(self, message: str, vcap_at_failure: float) -> None:
+        super().__init__(message)
+        self.vcap_at_failure = vcap_at_failure

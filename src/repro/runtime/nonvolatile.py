@@ -1,0 +1,289 @@
+"""Non-volatile data structures over target FRAM.
+
+The centrepiece is :class:`NVLinkedList`, a doubly-linked list kept in
+FRAM whose ``append`` and ``remove`` reproduce the paper's Figure 3
+*verbatim*, including the write ordering that makes ``append``
+vulnerable: a power failure after ``tail->next = e`` but before
+``tail = e`` leaves the tail pointer stale, which a later ``remove``
+turns into a NULL ``next`` dereference and a wild-pointer ``memset``.
+
+:class:`SafeNVLinkedList` is the intermittence-safe variant (tail
+updated atomically via a single commit pointer write), used as the
+fixed baseline in tests and ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mcu.hlapi import DeviceAPI
+from repro.mcu.memory import NULL
+
+
+@dataclass(frozen=True)
+class StructLayout:
+    """A C-struct layout: named u16 fields at fixed offsets."""
+
+    name: str
+    fields: tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        """Struct size in bytes (all fields are 16-bit words)."""
+        return 2 * len(self.fields)
+
+    def offset(self, field: str) -> int:
+        """Byte offset of ``field`` within the struct."""
+        try:
+            return 2 * self.fields.index(field)
+        except ValueError:
+            raise KeyError(
+                f"struct {self.name!r} has no field {field!r}; "
+                f"fields are {self.fields}"
+            ) from None
+
+
+class StructView:
+    """Read/write a :class:`StructLayout` instance at a target address.
+
+    All accesses go through the costed :class:`DeviceAPI`, so struct
+    manipulation drains energy exactly like the C it stands in for.
+    """
+
+    def __init__(self, api: DeviceAPI, layout: StructLayout, address: int) -> None:
+        self.api = api
+        self.layout = layout
+        self.address = address
+
+    def get(self, field: str) -> int:
+        """Load one field."""
+        return self.api.load_u16(self.address + self.layout.offset(field))
+
+    def set(self, field: str, value: int) -> None:
+        """Store one field."""
+        self.api.store_u16(self.address + self.layout.offset(field), value)
+
+    def at(self, address: int) -> "StructView":
+        """A view of the same layout at a different address.
+
+        Following a pointer *is* this operation — including following a
+        NULL or corrupted pointer, which faults on the first access.
+        """
+        return StructView(self.api, self.layout, address)
+
+
+class NVCounter:
+    """A non-volatile counter (statistics the AR app keeps in FRAM)."""
+
+    def __init__(self, api: DeviceAPI, name: str) -> None:
+        self.api = api
+        self.address = api.nv_var(f"counter.{name}")
+
+    def get(self) -> int:
+        """Current value."""
+        return self.api.load_u16(self.address)
+
+    def set(self, value: int) -> None:
+        """Overwrite the value."""
+        self.api.store_u16(self.address, value)
+
+    def increment(self, by: int = 1) -> int:
+        """Add ``by`` (mod 2^16); returns the new value."""
+        value = (self.get() + by) & 0xFFFF
+        self.set(value)
+        return value
+
+
+# Node layout of the Figure 3 / Figure 6 list.  ``buf`` is the pointer
+# to a buffer in *volatile* memory that the Figure 6 app memsets after
+# removal; ``value`` carries the Fibonacci payload in the Figure 8 app.
+NODE = StructLayout("elem", ("next", "prev", "value", "buf"))
+LIST_HEADER = StructLayout("list", ("head", "tail", "length"))
+
+
+class NVLinkedList:
+    """The paper's doubly-linked list in non-volatile memory.
+
+    ``append`` and ``remove`` follow Figure 3's code *line by line*.
+    The intermittence bug lives in ``append``: the list's tail pointer
+    is updated last, so a reboot between ``list->tail->next = e`` and
+    ``list->tail = e`` leaves the structure inconsistent — the exact
+    pre-condition violation §2.1 walks through.
+    """
+
+    def __init__(self, api: DeviceAPI, name: str, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError("list capacity must be at least 1")
+        self.api = api
+        self.name = name
+        self.capacity = capacity
+        self.header_addr = api.nv_var(f"list.{name}.header", LIST_HEADER.size)
+        self.pool_addr = api.nv_var(f"list.{name}.pool", NODE.size * capacity)
+        self.header = StructView(api, LIST_HEADER, self.header_addr)
+        self._node_proto = StructView(api, NODE, self.pool_addr)
+
+    # -- node pool ---------------------------------------------------------
+    def node_address(self, index: int) -> int:
+        """Address of pool node ``index`` (statically allocated elems)."""
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"node index {index} out of 0..{self.capacity - 1}")
+        return self.pool_addr + index * NODE.size
+
+    def node(self, index: int) -> StructView:
+        """View of pool node ``index``."""
+        return self._node_proto.at(self.node_address(index))
+
+    def node_at(self, address: int) -> StructView:
+        """Follow a pointer to a node (no validation — faults if wild)."""
+        return self._node_proto.at(address)
+
+    # -- the paper's operations, verbatim ordering -----------------------------
+    def init(self) -> None:
+        """``init_list(list)``: empty list."""
+        self.header.set("head", NULL)
+        self.header.set("tail", NULL)
+        self.header.set("length", 0)
+
+    def append(self, node_addr: int) -> None:
+        """Figure 3's ``append(list, e)`` — vulnerable write ordering::
+
+            e->next = NULL
+            e->prev = list->tail
+            list->tail->next = e      (or list->head = e when empty)
+            list->tail = e            <-- a reboot just before this
+                                          line strands the tail pointer
+        """
+        e = self.node_at(node_addr)
+        e.set("next", NULL)
+        tail = self.header.get("tail")
+        e.set("prev", tail)
+        if tail != NULL:
+            self.node_at(tail).set("next", node_addr)
+        else:
+            self.header.set("head", node_addr)
+        # --- the window: a power failure here corrupts the list ---
+        self.header.set("tail", node_addr)
+        self.header.set("length", self.header.get("length") + 1)
+
+    def remove(self, node_addr: int) -> None:
+        """Figure 3's ``remove(list, e)`` — faults on a corrupted list::
+
+            e->prev->next = e->next
+            if (e == list->tail) tail = e->prev
+            else e->next->prev = e->prev   <-- NULL 'next' goes wild here
+        """
+        e = self.node_at(node_addr)
+        prev = e.get("prev")
+        next_ = e.get("next")
+        if prev != NULL:
+            self.node_at(prev).set("next", next_)
+        else:
+            self.header.set("head", next_)
+        self.api.branch()
+        if node_addr == self.header.get("tail"):
+            self.header.set("tail", prev)
+        else:
+            # Pre-condition: only the tail's next is NULL.  When the
+            # tail pointer is stale this dereferences NULL and faults.
+            self.node_at(next_).set("prev", prev)
+        length = self.header.get("length")
+        if length > 0:
+            self.header.set("length", length - 1)
+
+    # -- queries -----------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """True when the list holds no elements."""
+        return self.header.get("head") == NULL
+
+    def length(self) -> int:
+        """Stored element count (itself NV, so survives reboots)."""
+        return self.header.get("length")
+
+    def walk(self, limit: int | None = None) -> list[int]:
+        """Node addresses from head to tail following ``next`` pointers.
+
+        Walking costs energy like any traversal.  ``limit`` bounds the
+        walk (cycle protection for corrupted lists).
+        """
+        out: list[int] = []
+        cursor = self.header.get("head")
+        cap = limit if limit is not None else self.capacity * 4
+        while cursor != NULL and len(out) < cap:
+            out.append(cursor)
+            cursor = self.node_at(cursor).get("next")
+        return out
+
+    def tail_is_last(self) -> bool:
+        """The Figure 6 assert's invariant: ``list->tail->next == NULL``
+        and the tail is reachable as the final element of the chain."""
+        tail = self.header.get("tail")
+        if tail == NULL:
+            return self.header.get("head") == NULL
+        if self.node_at(tail).get("next") != NULL:
+            return False
+        chain = self.walk()
+        return bool(chain) and chain[-1] == tail
+
+    def check_consistency(self) -> bool:
+        """The Figure 8 debug-build check: full O(n) structural audit.
+
+        Verifies that every node's ``prev`` points at its predecessor,
+        that the chain terminates at the tail, and that the stored
+        length matches.  Cost is proportional to list length — which is
+        exactly what makes it lethal without an energy guard.
+        """
+        head = self.header.get("head")
+        tail = self.header.get("tail")
+        if head == NULL or tail == NULL:
+            return head == NULL and tail == NULL and self.length() == 0
+        count = 0
+        prev = NULL
+        cursor = head
+        while cursor != NULL and count <= self.capacity * 4:
+            node = self.node_at(cursor)
+            if node.get("prev") != prev:
+                return False
+            prev = cursor
+            cursor = node.get("next")
+            count += 1
+        return prev == tail and count == self.length()
+
+
+class SafeNVLinkedList(NVLinkedList):
+    """An intermittence-safe list: same operations plus reboot repair.
+
+    The mutation code is unchanged from Figure 3 — what makes this
+    variant safe is :meth:`repair`, run once after every reboot (the
+    standard recovery idiom for NV structures).  The forward ``next``
+    chain is the source of truth: repair walks it from the head,
+    rewrites every ``prev`` pointer, and recomputes the tail and the
+    length, which heals every partial state ``append``/``remove`` can
+    leave behind:
+
+    - append cut before ``tail->next = e``: element unreachable — the
+      walk simply does not see it;
+    - append cut before ``tail = e``: stale tail — the walk finds the
+      true last node and rewrites the tail;
+    - remove cut before ``next->prev = prev``: stale back pointer —
+      the walk rewrites it.
+    """
+
+    def repair(self) -> None:
+        """Heal the structure after a reboot (idempotent)."""
+        head = self.header.get("head")
+        if head == NULL:
+            self.header.set("tail", NULL)
+            self.header.set("length", 0)
+            return
+        prev = NULL
+        cursor = head
+        count = 0
+        while cursor != NULL and count <= self.capacity * 4:
+            node = self.node_at(cursor)
+            if node.get("prev") != prev:
+                node.set("prev", prev)
+            prev = cursor
+            cursor = node.get("next")
+            count += 1
+        self.header.set("tail", prev)
+        self.header.set("length", count)

@@ -1,0 +1,260 @@
+"""A DINO-style task-based execution model for intermittent programs.
+
+The paper's related work (§6.2) describes DINO [Lucia & Ransford,
+PLDI'15]: programs are decomposed into *tasks*; at each task boundary
+the runtime versions the non-volatile data the next task may touch, so
+a power failure inside a task rolls back to the boundary instead of
+leaving memory half-updated.  EDB is "largely orthogonal" to such
+models but must remain useful under them — so this module implements
+the model, both as a substrate for tests/benches (task-atomicity kills
+the Figure 3 bug) and to demonstrate EDB debugging a task-based app.
+
+Semantics implemented:
+
+- a program is an ordered list of named tasks; a non-volatile *task
+  pointer* selects the next task to run;
+- inside a task, reads and writes to task-shared variables go through
+  the runtime: writes are staged in a shadow copy in FRAM;
+- at the task boundary the runtime performs a two-phase commit —
+  publish the shadow set, flip a commit record, copy shadows into the
+  master copies, advance the task pointer, clear the record;
+- on every boot the runtime first *recovers*: if a commit record is
+  pending, the shadow copy is (re)applied — redo logging — so a reboot
+  anywhere leaves each task either fully applied or not at all.
+
+Everything lives in target memory through the costed
+:class:`~repro.mcu.hlapi.DeviceAPI`, so task transitions consume energy
+like the C runtime they stand in for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.mcu.hlapi import DeviceAPI
+
+# Commit-record states.
+_IDLE = 0x0000
+_PENDING = 0xC0DE
+
+
+@dataclass(frozen=True)
+class Task:
+    """One task: a name and its body.
+
+    The body receives ``(api, rt)`` and must confine all persistent
+    effects to :meth:`TaskRuntime.get`/:meth:`TaskRuntime.set` on
+    declared variables.  Bodies may be re-executed after a reboot, so
+    anything outside the runtime (GPIO pulses, radio messages) can
+    happen more than once — exactly the task-atomicity contract of the
+    original system.
+    """
+
+    name: str
+    body: Callable[[DeviceAPI, "TaskRuntime"], None]
+
+
+class TaskRuntime:
+    """Versioned task-shared variables plus the task pointer.
+
+    Parameters
+    ----------
+    api:
+        The device API (memory + costs).
+    tasks:
+        The program's ordered task list.
+    variables:
+        Names of the task-shared 16-bit variables.
+    name:
+        Namespace prefix for the FRAM statics.
+    """
+
+    def __init__(
+        self,
+        api: DeviceAPI,
+        tasks: list[Task],
+        variables: list[str],
+        name: str = "dino",
+    ) -> None:
+        if not tasks:
+            raise ValueError("a task program needs at least one task")
+        if len({t.name for t in tasks}) != len(tasks):
+            raise ValueError("task names must be unique")
+        if len(set(variables)) != len(variables):
+            raise ValueError("variable names must be unique")
+        self.api = api
+        self.tasks = list(tasks)
+        self.variables = list(variables)
+        prefix = f"tasks.{name}"
+        self._task_ptr = api.nv_var(f"{prefix}.task_ptr")
+        self._shadow_task_ptr = api.nv_var(f"{prefix}.shadow_task_ptr")
+        self._commit_flag = api.nv_var(f"{prefix}.commit_flag")
+        self._master = {
+            v: api.nv_var(f"{prefix}.master.{v}") for v in variables
+        }
+        self._shadow = {
+            v: api.nv_var(f"{prefix}.shadow.{v}") for v in variables
+        }
+        self._staged: dict[str, int] = {}
+        self._in_task = False
+        self.commits = 0
+        self.recoveries = 0
+
+    # -- flashing -----------------------------------------------------------
+    def flash_init(self, initial: dict[str, int] | None = None) -> None:
+        """Initialise all runtime state (off-device, uncosted)."""
+        memory = self.api.device.memory
+        memory.write_u16(self._task_ptr, 0)
+        memory.write_u16(self._shadow_task_ptr, 0)
+        memory.write_u16(self._commit_flag, _IDLE)
+        for variable in self.variables:
+            value = (initial or {}).get(variable, 0)
+            memory.write_u16(self._master[variable], value)
+            memory.write_u16(self._shadow[variable], value)
+
+    # -- variable access (inside a task) ---------------------------------------
+    def get(self, variable: str) -> int:
+        """Read a task-shared variable (staged value if written)."""
+        self._require_in_task()
+        if variable in self._staged:
+            return self._staged[variable]
+        return self.api.load_u16(self._master_addr(variable))
+
+    def set(self, variable: str, value: int) -> None:
+        """Stage a write; visible to later reads in this task only."""
+        self._require_in_task()
+        self._master_addr(variable)  # validate the name
+        self._staged[variable] = value & 0xFFFF
+
+    def _master_addr(self, variable: str) -> int:
+        try:
+            return self._master[variable]
+        except KeyError:
+            raise KeyError(
+                f"task variable {variable!r} not declared; "
+                f"have {self.variables}"
+            ) from None
+
+    def _require_in_task(self) -> None:
+        if not self._in_task:
+            raise RuntimeError("task-shared access outside a task body")
+
+    # -- the boundary protocol ------------------------------------------------
+    def recover(self) -> bool:
+        """Boot-time recovery: re-apply a pending commit (redo log).
+
+        Returns ``True`` if a pending commit was (re)applied.
+        """
+        flag = self.api.load_u16(self._commit_flag)
+        self.api.branch()
+        if flag != _PENDING:
+            return False
+        # Redo: the shadow set (variables + task pointer) is complete —
+        # the flag is written after it — so copying is idempotent.
+        for variable in self.variables:
+            value = self.api.load_u16(self._shadow[variable])
+            self.api.store_u16(self._master[variable], value)
+        self.api.store_u16(
+            self._task_ptr, self.api.load_u16(self._shadow_task_ptr)
+        )
+        self.api.store_u16(self._commit_flag, _IDLE)
+        self.recoveries += 1
+        return True
+
+    def _commit(self, next_task: int) -> None:
+        # Phase 1: complete the shadow set (unstaged variables keep
+        # their master value; copy them so the redo log is total).
+        for variable in self.variables:
+            if variable in self._staged:
+                value = self._staged[variable]
+            else:
+                value = self.api.load_u16(self._master[variable])
+            self.api.store_u16(self._shadow[variable], value)
+        # The task pointer advances *inside* the committed set: it is
+        # shadowed like any variable, and the flag write is the single
+        # commit point for the whole set.
+        self.api.store_u16(self._shadow_task_ptr, next_task)
+        self.api.store_u16(self._commit_flag, _PENDING)
+        # Phase 2: publish (idempotent; recovery can repeat it).
+        for variable in self.variables:
+            value = self.api.load_u16(self._shadow[variable])
+            self.api.store_u16(self._master[variable], value)
+        self.api.store_u16(self._task_ptr, next_task)
+        self.api.store_u16(self._commit_flag, _IDLE)
+        self.commits += 1
+
+    # -- execution ----------------------------------------------------------------
+    @property
+    def current_task_index(self) -> int:
+        """The committed task pointer (which task runs next)."""
+        return self.api.load_u16(self._task_ptr) % len(self.tasks)
+
+    def read_committed(self, variable: str) -> int:
+        """Host-side view of a variable's committed value (uncosted)."""
+        return self.api.device.memory.read_u16(self._master[variable])
+
+    def run_one_task(self) -> str:
+        """Execute the current task to its boundary; returns its name.
+
+        A power failure inside the body propagates out with *nothing*
+        committed; re-running after the reboot re-executes the same
+        task from its boundary state.
+        """
+        index = self.current_task_index
+        task = self.tasks[index]
+        self._staged = {}
+        self._in_task = True
+        try:
+            task.body(self.api, self)
+        finally:
+            self._in_task = False
+        self._commit((index + 1) % len(self.tasks))
+        self._staged = {}
+        return task.name
+
+
+class TaskProgram:
+    """An :class:`IntermittentProgram` wrapper around a task list.
+
+    ``main`` recovers, then runs task boundaries forever (or until an
+    optional ``stop`` predicate raises ``ProgramComplete``).
+    """
+
+    def __init__(
+        self,
+        tasks: list[Task],
+        variables: list[str],
+        initial: dict[str, int] | None = None,
+        stop: Callable[[DeviceAPI, TaskRuntime], None] | None = None,
+        name: str = "taskapp",
+    ) -> None:
+        self.name = name
+        self.tasks = tasks
+        self.variables = variables
+        self.initial = initial
+        self.stop = stop
+        self.runtime: TaskRuntime | None = None
+        self.boundaries_crossed = 0
+
+    def _runtime(self, api: DeviceAPI) -> TaskRuntime:
+        if self.runtime is None or self.runtime.api is not api:
+            self.runtime = TaskRuntime(
+                api, self.tasks, self.variables, name=self.name
+            )
+        return self.runtime
+
+    def flash(self, api: DeviceAPI) -> None:
+        """Initialise the task runtime's FRAM state."""
+        self._runtime(api).flash_init(self.initial)
+        self.boundaries_crossed = 0
+
+    def main(self, api: DeviceAPI) -> None:
+        """Recover, then execute tasks until power fails (or stop)."""
+        runtime = self._runtime(api)
+        runtime.recover()
+        while True:
+            runtime.run_one_task()
+            self.boundaries_crossed += 1
+            if self.stop is not None:
+                self.stop(api, runtime)

@@ -1,0 +1,27 @@
+"""Discrete-time simulation kernel used by every other subsystem.
+
+The kernel provides four things:
+
+- :mod:`repro.sim.units` — physical-unit constants and converters so the
+  rest of the codebase can say ``47 * units.UF`` instead of ``4.7e-05``.
+- :class:`repro.sim.kernel.Simulator` — the global clock plus a small
+  event queue for periodic activities (ADC sampling, reader inventory
+  rounds, harvester environment changes).
+- :class:`repro.sim.trace.TraceRecorder` — a unified, timestamped,
+  multi-channel trace of everything the evaluation needs to plot
+  (capacitor voltage, watchpoint hits, RFID messages, ...).
+- :class:`repro.sim.rng.RngHub` — deterministic per-subsystem random
+  streams so every experiment is reproducible bit-for-bit.
+"""
+
+from repro.sim.kernel import Event, Simulator
+from repro.sim.rng import RngHub
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "Event",
+    "RngHub",
+    "Simulator",
+    "TraceEvent",
+    "TraceRecorder",
+]

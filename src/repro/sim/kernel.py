@@ -1,0 +1,125 @@
+"""The simulation clock and event queue.
+
+The target device is the primary driver of simulated time: it advances
+the clock one instruction (or one high-level operation) at a time.  All
+other activity — EDB's ADC sampling, the RFID reader's inventory rounds,
+harvesting-environment changes — is expressed as scheduled events that
+fire as the clock sweeps past their deadline.
+
+The kernel is intentionally simple: a monotonic float time in seconds, a
+binary-heap event queue, and a handful of hooks.  There is no implicit
+concurrency; everything happens in deterministic order (time, then
+insertion sequence).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.rng import RngHub
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordered by (time, sequence number)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    period: float | None = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event (and its periodic reschedules) from firing."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Global simulation context: clock, event queue, traces, RNG.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all random streams (see :class:`RngHub`).
+
+    Notes
+    -----
+    Time only moves forward.  ``advance(dt)`` is the single way to move
+    it, and it fires every scheduled event whose deadline falls within
+    the swept interval, in deadline order.  Events scheduled *during*
+    the sweep are honoured if they still fall inside the interval.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self.trace = TraceRecorder(clock=lambda: self._now)
+        self.rng = RngHub(seed)
+
+    # -- clock ----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, dt: float) -> None:
+        """Move time forward by ``dt`` seconds, firing due events."""
+        if dt < 0.0:
+            raise ValueError(f"cannot move time backwards (dt={dt})")
+        deadline = self._now + dt
+        while self._queue and self._queue[0].time <= deadline:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            # Fire the event at its own deadline, not at the sweep end.
+            self._now = max(self._now, event.time)
+            event.callback()
+            if event.period is not None and not event.cancelled:
+                event.time = event.time + event.period
+                heapq.heappush(self._queue, event)
+        self._now = deadline
+
+    def run_until(self, t: float) -> None:
+        """Advance the clock to absolute time ``t`` (no-op if in the past)."""
+        if t > self._now:
+            self.advance(t - self._now)
+
+    # -- scheduling -------------------------------------------------------
+    def call_at(self, t: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire once at absolute time ``t``."""
+        if t < self._now:
+            raise ValueError(f"cannot schedule in the past ({t} < {self._now})")
+        event = Event(time=t, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire once ``delay`` seconds from now."""
+        return self.call_at(self._now + delay, callback)
+
+    def call_every(
+        self, period: float, callback: Callable[[], None], start: float | None = None
+    ) -> Event:
+        """Schedule ``callback`` to fire every ``period`` seconds.
+
+        The first firing is at ``start`` (absolute) if given, otherwise
+        one full period from now.  Returns the :class:`Event`; call its
+        ``cancel()`` to stop the recurrence.
+        """
+        if period <= 0.0:
+            raise ValueError(f"period must be positive (got {period})")
+        first = start if start is not None else self._now + period
+        event = Event(
+            time=first, seq=next(self._seq), callback=callback, period=period
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)

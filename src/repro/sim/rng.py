@@ -1,0 +1,44 @@
+"""Deterministic per-subsystem random number streams.
+
+Each subsystem (harvester jitter, RF channel corruption, sensor noise,
+ADC quantisation noise, ...) asks the hub for a *named* stream.  The
+stream's seed is derived from the master seed and the name, so:
+
+- the same master seed reproduces every experiment exactly, and
+- adding a new consumer of randomness does not perturb the draws seen
+  by existing consumers (streams are independent, not interleaved).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RngHub:
+    """Factory of named, independently seeded ``random.Random`` streams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        if name not in self._streams:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
+        return self._streams[name]
+
+    def gauss(self, name: str, mu: float, sigma: float) -> float:
+        """One Gaussian draw from the named stream."""
+        return self.stream(name).gauss(mu, sigma)
+
+    def uniform(self, name: str, lo: float, hi: float) -> float:
+        """One uniform draw from the named stream."""
+        return self.stream(name).uniform(lo, hi)
+
+    def chance(self, name: str, probability: float) -> bool:
+        """Bernoulli draw: ``True`` with the given probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of range: {probability}")
+        return self.stream(name).random() < probability

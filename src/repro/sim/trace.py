@@ -1,0 +1,111 @@
+"""Unified multi-channel trace recording.
+
+Everything the paper's evaluation plots — capacitor voltage, GPIO
+toggles, watchpoint hits, RFID messages, debugger mode changes — is a
+timestamped event on a named channel.  :class:`TraceRecorder` collects
+them; the benchmark harness turns channels into the rows and series of
+the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped sample or event on a channel."""
+
+    time: float
+    channel: str
+    value: Any
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # keep long traces readable when debugging
+        return f"TraceEvent(t={self.time:.6f}, {self.channel}={self.value!r})"
+
+
+class TraceRecorder:
+    """Append-only store of :class:`TraceEvent` objects, per channel.
+
+    Channels are created on first use.  Listeners may subscribe to a
+    channel to react to events as they are recorded (EDB's passive-mode
+    streaming console is implemented this way).
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self._channels: dict[str, list[TraceEvent]] = defaultdict(list)
+        self._listeners: dict[str, list[Callable[[TraceEvent], None]]] = defaultdict(
+            list
+        )
+        self.enabled = True
+
+    # -- recording --------------------------------------------------------
+    def record(self, channel: str, value: Any, **meta: Any) -> TraceEvent:
+        """Record ``value`` on ``channel`` at the current simulated time."""
+        event = TraceEvent(time=self._clock(), channel=channel, value=value, meta=meta)
+        if self.enabled:
+            self._channels[channel].append(event)
+        for listener in self._listeners.get(channel, ()):
+            listener(event)
+        return event
+
+    def subscribe(self, channel: str, listener: Callable[[TraceEvent], None]) -> None:
+        """Invoke ``listener`` for every future event on ``channel``."""
+        self._listeners[channel].append(listener)
+
+    def unsubscribe(self, channel: str, listener: Callable[[TraceEvent], None]) -> None:
+        """Remove a previously subscribed listener (no-op if absent)."""
+        if listener in self._listeners.get(channel, ()):
+            self._listeners[channel].remove(listener)
+
+    # -- queries ------------------------------------------------------------
+    def channels(self) -> list[str]:
+        """Names of all channels that have recorded at least one event."""
+        return sorted(self._channels)
+
+    def events(self, channel: str) -> list[TraceEvent]:
+        """All events recorded on ``channel`` (empty list if none)."""
+        return list(self._channels.get(channel, ()))
+
+    def values(self, channel: str) -> list[Any]:
+        """Just the values on ``channel``, in time order."""
+        return [e.value for e in self._channels.get(channel, ())]
+
+    def series(self, channel: str) -> tuple[list[float], list[Any]]:
+        """``(times, values)`` parallel lists for plotting a channel."""
+        events = self._channels.get(channel, ())
+        return [e.time for e in events], [e.value for e in events]
+
+    def window(self, channel: str, t0: float, t1: float) -> list[TraceEvent]:
+        """Events on ``channel`` with ``t0 <= time < t1``."""
+        return [e for e in self._channels.get(channel, ()) if t0 <= e.time < t1]
+
+    def count(self, channel: str) -> int:
+        """Number of events recorded on ``channel``."""
+        return len(self._channels.get(channel, ()))
+
+    def last(self, channel: str) -> TraceEvent | None:
+        """Most recent event on ``channel``, or ``None``."""
+        events = self._channels.get(channel)
+        return events[-1] if events else None
+
+    def merged(self, channels: Iterable[str] | None = None) -> Iterator[TraceEvent]:
+        """All events across ``channels`` (default: all), in time order."""
+        names = list(channels) if channels is not None else self.channels()
+        streams = [self._channels.get(name, []) for name in names]
+        merged = sorted(
+            (event for stream in streams for event in stream),
+            key=lambda e: e.time,
+        )
+        return iter(merged)
+
+    def clear(self, channel: str | None = None) -> None:
+        """Drop recorded events for one channel, or all channels."""
+        if channel is None:
+            self._channels.clear()
+        else:
+            self._channels.pop(channel, None)

@@ -1,0 +1,83 @@
+"""Physical unit constants and small converters.
+
+All simulation state is kept in SI base units (seconds, volts, amperes,
+farads, joules, hertz).  The constants below exist purely so that code
+reads like the datasheet it was derived from::
+
+    capacitance = 47 * units.UF
+    turn_on     = 2.4 * units.V
+    active_i    = 0.5 * units.MA
+"""
+
+from __future__ import annotations
+
+# -- scale prefixes ----------------------------------------------------
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+# -- time --------------------------------------------------------------
+S = 1.0
+MS = MILLI
+US = MICRO
+NS = NANO
+
+# -- electrical --------------------------------------------------------
+V = 1.0
+MV = MILLI
+A = 1.0
+MA = MILLI
+UA = MICRO
+NA = NANO
+F = 1.0
+UF = MICRO
+NF = NANO
+PF = PICO
+OHM = 1.0
+KOHM = KILO
+MOHM = MEGA
+
+# -- energy / power ----------------------------------------------------
+J = 1.0
+MJ = MILLI
+UJ = MICRO
+NJ = NANO
+PJ = PICO
+W = 1.0
+MW = MILLI
+UW = MICRO
+
+# -- frequency ---------------------------------------------------------
+HZ = 1.0
+KHZ = KILO
+MHZ = MEGA
+
+
+def cap_energy(capacitance_f: float, voltage_v: float) -> float:
+    """Energy stored in a capacitor: ``E = 1/2 * C * V**2`` (joules)."""
+    return 0.5 * capacitance_f * voltage_v * voltage_v
+
+
+def cap_voltage(capacitance_f: float, energy_j: float) -> float:
+    """Voltage on a capacitor holding ``energy_j``: ``V = sqrt(2E/C)``."""
+    if energy_j <= 0.0:
+        return 0.0
+    return (2.0 * energy_j / capacitance_f) ** 0.5
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert an RF power level in dBm to watts (30 dBm == 1 W)."""
+    return 1e-3 * 10.0 ** (dbm / 10.0)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert watts to dBm; raises ``ValueError`` for non-positive power."""
+    if watts <= 0.0:
+        raise ValueError("power must be positive to express in dBm")
+    import math
+
+    return 10.0 * math.log10(watts / 1e-3)

@@ -1,0 +1,134 @@
+"""Value-change-dump (VCD) export for simulation traces.
+
+Real EDB users look at oscilloscope screens; users of this simulation
+get the equivalent by dumping captured channels to the VCD format that
+GTKWave and every other waveform viewer understands.
+
+Two exporters:
+
+- :func:`scope_to_vcd` — dump an :class:`Oscilloscope`'s channels
+  (analog channels become ``real`` variables, digital ones ``wire``);
+- :func:`trace_to_vcd` — dump selected :class:`TraceRecorder` channels
+  (numeric and boolean values only; other payloads are skipped).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable
+
+from repro.sim.trace import TraceRecorder
+
+_TIMESCALE = "1us"
+_TIME_UNIT = 1e-6  # seconds per VCD tick
+
+
+def _identifier_codes() -> Iterable[str]:
+    # VCD identifiers: short printable-ASCII strings.
+    alphabet = "".join(chr(c) for c in range(33, 127))
+    for a in alphabet:
+        yield a
+    for a in alphabet:
+        for b in alphabet:
+            yield a + b
+
+
+def _sanitise(name: str) -> str:
+    return name.replace(" ", "_").replace(".", "_")
+
+
+class _VcdWriter:
+    def __init__(self, module: str) -> None:
+        self.module = module
+        self._codes = _identifier_codes()
+        self.variables: list[tuple[str, str, str]] = []  # (kind, code, name)
+        self.changes: list[tuple[int, str]] = []  # (tick, change text)
+
+    def add_variable(self, name: str, kind: str) -> str:
+        code = next(self._codes)
+        self.variables.append((kind, code, _sanitise(name)))
+        return code
+
+    def record_real(self, t: float, code: str, value: float) -> None:
+        self.changes.append((int(round(t / _TIME_UNIT)), f"r{value:.6g} {code}"))
+
+    def record_bit(self, t: float, code: str, value: bool) -> None:
+        self.changes.append((int(round(t / _TIME_UNIT)), f"{int(value)}{code}"))
+
+    def render(self) -> str:
+        out = io.StringIO()
+        out.write("$date simulated $end\n")
+        out.write("$version repro EDB simulation $end\n")
+        out.write(f"$timescale {_TIMESCALE} $end\n")
+        out.write(f"$scope module {_sanitise(self.module)} $end\n")
+        for kind, code, name in self.variables:
+            if kind == "real":
+                out.write(f"$var real 64 {code} {name} $end\n")
+            else:
+                out.write(f"$var wire 1 {code} {name} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        current_tick: int | None = None
+        for tick, change in sorted(self.changes, key=lambda c: c[0]):
+            if tick != current_tick:
+                out.write(f"#{tick}\n")
+                current_tick = tick
+            out.write(change + "\n")
+        return out.getvalue()
+
+
+def scope_to_vcd(scope, module: str = "edb") -> str:
+    """Render an :class:`~repro.instruments.oscilloscope.Oscilloscope`
+    capture as VCD text.
+
+    Channels whose samples are all 0.0/1.0 are emitted as 1-bit wires,
+    everything else as real-valued variables.
+    """
+    writer = _VcdWriter(module)
+    for channel in scope.channels():
+        times, values = scope.samples(channel)
+        if not values:
+            continue
+        digital = all(v in (0.0, 1.0) for v in values)
+        code = writer.add_variable(channel, "wire" if digital else "real")
+        previous = None
+        for t, v in zip(times, values):
+            if v == previous:
+                continue
+            previous = v
+            if digital:
+                writer.record_bit(t, code, bool(v))
+            else:
+                writer.record_real(t, code, v)
+    return writer.render()
+
+
+def trace_to_vcd(
+    trace: TraceRecorder, channels: list[str], module: str = "edb"
+) -> str:
+    """Render selected :class:`TraceRecorder` channels as VCD text.
+
+    Boolean-valued channels become wires; int/float channels become
+    real variables; events with other payload types are skipped.
+    """
+    writer = _VcdWriter(module)
+    for channel in channels:
+        events = trace.events(channel)
+        numeric = [
+            e for e in events if isinstance(e.value, (bool, int, float))
+        ]
+        if not numeric:
+            continue
+        digital = all(isinstance(e.value, bool) for e in numeric)
+        code = writer.add_variable(channel, "wire" if digital else "real")
+        for event in numeric:
+            if digital:
+                writer.record_bit(event.time, code, bool(event.value))
+            else:
+                writer.record_real(event.time, code, float(event.value))
+    return writer.render()
+
+
+def write_vcd(text: str, path) -> None:
+    """Write rendered VCD text to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(text)

@@ -1,0 +1,104 @@
+"""Test and experimentation support: fault injection and fast targets.
+
+Organic intermittence (a harvester racing a load) is the realistic way
+to produce power failures, but it is a blunt instrument for unit tests
+— the failure point depends on every cost constant upstream.  This
+module provides surgical alternatives:
+
+- :class:`BrownoutInjector` — force a brown-out after an exact number
+  of device work units, so a test can place the reboot *inside* a
+  specific vulnerable window (e.g. mid-``append``) deterministically;
+- :func:`fast_wisp_constants` / :func:`make_fast_target` — a scaled-
+  down target (10x smaller capacitor) that charge/discharge-cycles
+  several times faster, for tests that need many organic reboots
+  without burning wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.mcu.device import TargetDevice
+from repro.power.supply import PowerSystem
+from repro.power.wisp import WispPowerConstants, make_wisp_power_system
+from repro.sim import units
+from repro.sim.kernel import Simulator
+
+
+class BrownoutInjector:
+    """Forces a brown-out after a chosen number of work units.
+
+    Installs itself as a post-work hook on the device; on the N-th
+    completed ``execute_cycles`` call it yanks the capacitor below the
+    brown-out threshold, so the *next* operation raises
+    :class:`~repro.mcu.device.PowerFailure`.  One-shot by default —
+    call :meth:`arm` again for the next injection.
+    """
+
+    def __init__(self, device: TargetDevice) -> None:
+        self.device = device
+        self._remaining: int | None = None
+        self.injections = 0
+        device.post_work_hooks.append(self._hook)
+
+    def arm(self, after_ops: int) -> None:
+        """Schedule a brown-out ``after_ops`` completed work units from now."""
+        if after_ops < 1:
+            raise ValueError(f"after_ops must be >= 1 (got {after_ops})")
+        self._remaining = after_ops
+
+    def disarm(self) -> None:
+        """Cancel a pending injection."""
+        self._remaining = None
+
+    @property
+    def armed(self) -> bool:
+        """True while an injection is pending."""
+        return self._remaining is not None
+
+    def _hook(self) -> None:
+        if self._remaining is None:
+            return
+        self._remaining -= 1
+        if self._remaining > 0:
+            return
+        self._remaining = None
+        power: PowerSystem = self.device.power
+        if power.is_tethered:
+            return  # cannot brown out a tethered target
+        power.capacitor.voltage = power.brownout_voltage - 0.02
+        power.step(0.0)
+        self.injections += 1
+
+    def remove(self) -> None:
+        """Uninstall the hook from the device."""
+        if self._hook in self.device.post_work_hooks:
+            self.device.post_work_hooks.remove(self._hook)
+
+
+def fast_wisp_constants() -> WispPowerConstants:
+    """WISP constants with a 10x smaller capacitor.
+
+    Same thresholds and currents, so per-op physics are unchanged, but
+    each charge/discharge cycle holds 10x less work — tests see many
+    organic reboots per simulated second.
+    """
+    return replace(WispPowerConstants(), capacitance=4.7 * units.UF)
+
+
+def make_fast_target(
+    sim: Simulator,
+    distance_m: float = 1.6,
+    fading_sigma: float = 1.5,
+    constants: WispPowerConstants | None = None,
+) -> TargetDevice:
+    """A ready-made fast-cycling target for tests.
+
+    Fading jitter is on by default so brown-out points sweep the
+    program instead of locking to one phase.
+    """
+    c = constants or fast_wisp_constants()
+    power = make_wisp_power_system(
+        sim, constants=c, distance_m=distance_m, fading_sigma=fading_sigma
+    )
+    return TargetDevice(sim, power, constants=c)

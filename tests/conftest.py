@@ -1,0 +1,50 @@
+"""Shared fixtures: simulated targets at several fidelity/speed points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EDB, Simulator, TargetDevice, make_wisp_power_system
+from repro.apps.sensors import Accelerometer, I2C_ADDRESS, MotionProfile
+from repro.testing import make_fast_target
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulation kernel with a fixed seed."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def wisp(sim: Simulator) -> TargetDevice:
+    """A paper-faithful WISP (47 uF) on harvested power, charged to ON."""
+    power = make_wisp_power_system(sim)
+    device = TargetDevice(sim, power)
+    power.charge_until_on()
+    return device
+
+
+@pytest.fixture
+def fast_target(sim: Simulator) -> TargetDevice:
+    """A fast-cycling target (4.7 uF) for many-reboot tests."""
+    return make_fast_target(sim)
+
+
+@pytest.fixture
+def wisp_with_edb(sim: Simulator) -> tuple[TargetDevice, EDB]:
+    """A charged WISP with an EDB board attached."""
+    power = make_wisp_power_system(sim)
+    device = TargetDevice(sim, power)
+    edb = EDB(sim, device)
+    power.charge_until_on()
+    return device, edb
+
+
+@pytest.fixture
+def wisp_with_accel(sim: Simulator) -> TargetDevice:
+    """A charged WISP with an accelerometer on its I2C bus."""
+    power = make_wisp_power_system(sim)
+    device = TargetDevice(sim, power)
+    device.i2c.attach(I2C_ADDRESS, Accelerometer(sim, MotionProfile()))
+    power.charge_until_on()
+    return device

@@ -1,0 +1,171 @@
+"""Coverage of the remaining public API surface and small behaviours."""
+
+import pytest
+
+from repro import (
+    EDB,
+    IntermittentExecutor,
+    RunResult,
+    RunStatus,
+    Simulator,
+    TargetDevice,
+    make_wisp_power_system,
+)
+from repro.apps import RfidFirmwareApp
+from repro.core.emulation import EmulatedCycle, EmulationResult
+from repro.io.rfid import CommandKind, ReaderCommand, RfidChannel
+from repro.mcu.adc import Adc, AdcChannelMux
+from repro.sim import units
+from repro.sim.kernel import Simulator as Sim
+
+
+class TestAdcMux:
+    def test_read_code_and_channels(self):
+        adc = Adc()
+        mux = AdcChannelMux(adc)
+        mux.add_channel("vcap", lambda: 2.4)
+        mux.add_channel("vreg", lambda: 2.0)
+        assert mux.channels() == ["vcap", "vreg"]
+        code = mux.read_code("vcap")
+        assert adc.to_volts(code) == pytest.approx(2.4, abs=0.01)
+
+    def test_duplicate_and_unknown_channels(self):
+        mux = AdcChannelMux(Adc())
+        mux.add_channel("x", lambda: 1.0)
+        with pytest.raises(ValueError):
+            mux.add_channel("x", lambda: 1.0)
+        with pytest.raises(KeyError):
+            mux.read("y")
+
+    def test_adc_validation(self):
+        with pytest.raises(ValueError):
+            Adc(bits=0)
+        with pytest.raises(ValueError):
+            Adc(reference_voltage=0.0)
+
+    def test_adc_clamps_out_of_range(self):
+        adc = Adc(reference_voltage=3.3)
+        assert adc.sample(-1.0) == 0
+        assert adc.sample(10.0) == adc.max_code
+
+
+class TestReprsAndSummaries:
+    def test_run_result_repr(self):
+        result = RunResult(
+            status=RunStatus.COMPLETED, sim_time=0.5, reboots=3, boots=4
+        )
+        text = repr(result)
+        assert "completed" in text
+        assert "boots=4" in text
+
+    def test_emulation_result_summary(self):
+        result = EmulationResult(
+            cycles=[
+                EmulatedCycle(0, 2.4, 0.0, 0.01, "brownout"),
+                EmulatedCycle(1, 2.4, 0.1, 0.02, "fault", "boom"),
+            ]
+        )
+        assert result.outcome == "fault"
+        assert result.count("brownout") == 1
+        assert "2 cycles" in repr(result)
+
+    def test_empty_emulation_outcome(self):
+        assert EmulationResult().outcome == "none"
+
+    def test_capacitor_repr(self):
+        from repro.power.capacitor import StorageCapacitor
+
+        text = repr(StorageCapacitor(47 * units.UF, voltage=2.4))
+        assert "47.0uF" in text
+
+    def test_memory_region_repr(self):
+        from repro.mcu.memory import MemoryRegion
+
+        assert "non-volatile" in repr(
+            MemoryRegion("fram", 0x4400, 16, volatile=False)
+        )
+
+
+class TestTraceRecorderMergedSubset:
+    def test_merged_selected_channels_only(self):
+        sim = Sim(seed=1)
+        sim.trace.record("a", 1)
+        sim.trace.record("b", 2)
+        sim.trace.record("c", 3)
+        merged = list(sim.trace.merged(["a", "c"]))
+        assert [e.value for e in merged] == [1, 3]
+
+
+class TestRfidFirmwareAckPath:
+    def test_ack_produces_no_reply(self, sim):
+        power = make_wisp_power_system(sim, distance_m=0.9)
+        device = TargetDevice(sim, power)
+        channel = RfidChannel(sim, downlink_corruption_at_1m=0.0)
+        app = RfidFirmwareApp(channel, max_replies=1)
+        executor = IntermittentExecutor(sim, device, app)
+        executor.flash()
+        power.charge_until_on()
+        # Deliver while the firmware is running (its boot path clears
+        # the demodulator queue, as a real power-up would).
+        sim.call_after(
+            0.01,
+            lambda: channel.deliver_command(
+                ReaderCommand(CommandKind.ACK, rn16=0x1234)
+            ),
+        )
+        sim.call_after(
+            0.02,
+            lambda: channel.deliver_command(ReaderCommand(CommandKind.QUERY, q=0)),
+        )
+        result = executor.run(duration=1.0)
+        assert result.status is RunStatus.COMPLETED
+        assert app.commands_decoded == 2  # both decoded...
+        assert channel.replies_sent == 1  # ...only the QUERY answered
+
+
+class TestGpioNames:
+    def test_names_listed(self, wisp):
+        wisp.gpio.pin("main_loop")
+        assert "led" in wisp.gpio.names()
+        assert "main_loop" in wisp.gpio.names()
+
+    def test_duplicate_pin_rejected(self, wisp):
+        with pytest.raises(ValueError):
+            wisp.gpio.add_pin("led")
+
+
+class TestUartTiming:
+    def test_transfer_time_scales(self, sim):
+        from repro.io.uart import Uart
+
+        uart = Uart(sim, baud=115200)
+        assert uart.transfer_time(10) == pytest.approx(10 * uart.byte_time())
+
+
+class TestPackageExports:
+    def test_top_level_all_resolves(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_alls_resolve(self):
+        import repro.analog
+        import repro.apps
+        import repro.core
+        import repro.io
+        import repro.power
+        import repro.runtime
+        import repro.sim
+
+        for module in (
+            repro.analog,
+            repro.apps,
+            repro.core,
+            repro.io,
+            repro.power,
+            repro.runtime,
+            repro.sim,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None

@@ -1,0 +1,318 @@
+"""Tests for the four case-study applications (§5.3).
+
+Each application is tested both for functional correctness on
+continuous power (the control condition) and for its characteristic
+behaviour under intermittent power — manifesting or catching the
+paper's failure modes.
+"""
+
+import pytest
+
+from repro import (
+    EDB,
+    IntermittentExecutor,
+    RunStatus,
+    Simulator,
+    TargetDevice,
+    make_wisp_power_system,
+)
+from repro.apps import (
+    ActivityRecognitionApp,
+    FibonacciApp,
+    LinkedListApp,
+    RfidFirmwareApp,
+)
+from repro.apps.sensors import (
+    Accelerometer,
+    I2C_ADDRESS,
+    MotionProfile,
+    MotionSegment,
+    REG_XDATA_L,
+)
+from repro.io.rfid import CommandKind, ReaderCommand, RfidChannel, RFIDReader
+from repro.runtime.nonvolatile import NVLinkedList
+from repro.testing import make_fast_target
+
+
+class TestLinkedListApp:
+    def test_continuous_power_never_fails(self, sim, fast_target):
+        app = LinkedListApp(max_iterations=500)
+        executor = IntermittentExecutor(sim, fast_target, app)
+        result = executor.run_continuous(duration=5.0)
+        assert result.status is RunStatus.COMPLETED
+        assert result.faults == []
+
+    def test_intermittent_power_corrupts_and_crashes(self):
+        """The Figure 3 bug: organic manifestation under intermittence."""
+        sim = Simulator(seed=2)
+        device = make_fast_target(sim)
+        app = LinkedListApp(update_cycles=0)
+        executor = IntermittentExecutor(sim, device, app)
+        result = executor.run(duration=10.0, stop_on_fault=True)
+        assert result.status is RunStatus.CRASHED
+        assert "unmapped" in result.faults[0] or "escapes" in result.faults[0]
+
+    def test_crash_loop_persists_across_reboots(self):
+        """After corruption the device wedges on every boot (§5.3.1)."""
+        sim = Simulator(seed=2)
+        device = make_fast_target(sim)
+        app = LinkedListApp(update_cycles=0)
+        executor = IntermittentExecutor(sim, device, app)
+        result = executor.run(duration=6.0)
+        assert result.status is RunStatus.CRASHED
+        assert len(result.faults) > 3  # faulted again and again
+
+    def test_assert_catches_before_the_wild_write(self):
+        from repro.runtime.executor import AssertionHaltSignal
+
+        sim = Simulator(seed=2)
+        device = make_fast_target(sim)
+        edb = EDB(sim, device)
+        app = LinkedListApp(use_assert=True, update_cycles=0)
+        executor = IntermittentExecutor(sim, device, app, edb=edb.libedb())
+        result = executor.run(duration=10.0)
+        assert result.status is RunStatus.ASSERT_FAILED
+        assert isinstance(result.detail, AssertionHaltSignal)
+        assert result.faults == []  # caught before any wild access
+        assert device.power.is_tethered  # keep-alive holds state live
+
+    def test_safe_list_variant_survives(self):
+        """Ablation: repair-on-boot eliminates the crash."""
+        sim = Simulator(seed=2)
+        device = make_fast_target(sim)
+        app = LinkedListApp(use_safe_list=True, update_cycles=0)
+        executor = IntermittentExecutor(sim, device, app)
+        result = executor.run(duration=10.0)
+        assert result.status is RunStatus.TIMEOUT  # still running happily
+        assert result.faults == []
+        assert app.iterations_completed > 100
+
+
+class TestFibonacciApp:
+    def test_release_build_completes(self, sim, fast_target):
+        app = FibonacciApp(debug_build=False, capacity=60)
+        executor = IntermittentExecutor(sim, fast_target, app)
+        result = executor.run(duration=10.0)
+        assert result.status is RunStatus.COMPLETED
+
+    def test_values_follow_recurrence(self, sim, fast_target):
+        app = FibonacciApp(debug_build=False, capacity=20)
+        executor = IntermittentExecutor(sim, fast_target, app)
+        executor.run(duration=10.0)
+        nv_list = NVLinkedList(executor.api, "fib", capacity=20)
+        values = [
+            nv_list.node_at(addr).get("value") for addr in nv_list.walk()
+        ]
+        for a, b, c in zip(values, values[1:], values[2:]):
+            assert c == (a + b) & 0xFFFF
+
+    def test_consistency_check_passes_on_healthy_list(self, sim, fast_target):
+        app = FibonacciApp(debug_build=True, capacity=30)
+        executor = IntermittentExecutor(sim, fast_target, app)
+        executor.flash()
+        fast_target.power.charge_until_on()
+        nv_list = NVLinkedList(executor.api, "fib", capacity=30)
+        assert app.consistency_check(executor.api, nv_list)
+
+    def test_consistency_check_detects_stale_tail(self, sim, fast_target):
+        app = FibonacciApp(debug_build=True, capacity=30)
+        executor = IntermittentExecutor(sim, fast_target, app)
+        executor.flash()
+        fast_target.power.charge_until_on()
+        nv_list = NVLinkedList(executor.api, "fib", capacity=30)
+        nv_list.header.set("tail", nv_list.node_address(0))  # stale
+        assert not app.consistency_check(executor.api, nv_list)
+        assert app.check_failures == 1
+
+    def test_debug_build_starves_without_guard(self):
+        """Figure 9 top: the check eats whole charge cycles eventually."""
+        sim = Simulator(seed=5)
+        device = make_fast_target(sim, fading_sigma=0.5)
+        app = FibonacciApp(debug_build=True, check_node_cycles=2000, capacity=400)
+        executor = IntermittentExecutor(sim, device, app)
+        result = executor.run(duration=12.0)
+        assert result.status is RunStatus.TIMEOUT
+        alloc = device.memory.read_u16(executor.api.nv_var("fib.alloc"))
+        assert alloc < 400  # wedged well short of the target
+
+    def test_energy_guard_unblocks_debug_build(self):
+        """Figure 9 bottom: guarded check is free; progress continues."""
+        sim = Simulator(seed=5)
+        device = make_fast_target(sim, fading_sigma=0.5)
+        edb = EDB(sim, device)
+        app = FibonacciApp(
+            debug_build=True,
+            use_energy_guard=True,
+            check_node_cycles=2000,
+            capacity=400,
+        )
+        executor = IntermittentExecutor(sim, device, app, edb=edb.libedb())
+        result = executor.run(duration=15.0)
+        assert result.status is RunStatus.COMPLETED
+        # A few pool slots can leak to interrupted appends; the point is
+        # that growth ran to (near) capacity instead of wedging.
+        alloc = device.memory.read_u16(executor.api.nv_var("fib.alloc"))
+        assert alloc == 400
+        assert result.detail >= 380
+
+
+class TestSensors:
+    def test_stationary_profile_reads_gravity(self):
+        sim = Simulator(seed=9)
+        accel = Accelerometer(sim, MotionProfile.stationary())
+        data = bytes(accel.read_register(REG_XDATA_L + i) for i in range(6))
+        x, y, z = Accelerometer.decode_sample(data)
+        assert abs(x) < 100
+        assert 900 < z < 1100
+
+    def test_walking_profile_oscillates(self):
+        sim = Simulator(seed=9)
+        accel = Accelerometer(sim, MotionProfile.walking())
+        xs = []
+        for _ in range(40):
+            data = bytes(accel.read_register(REG_XDATA_L + i) for i in range(6))
+            xs.append(Accelerometer.decode_sample(data)[0])
+            sim.advance(0.05)
+        assert max(xs) - min(xs) > 300
+
+    def test_schedule_alternates_ground_truth(self):
+        profile = MotionProfile(
+            [MotionSegment(False, 1.0), MotionSegment(True, 1.0)]
+        )
+        assert not profile.is_moving(0.5)
+        assert profile.is_moving(1.5)
+        assert not profile.is_moving(2.5)  # repeats
+
+    def test_decode_sample_sign_extension(self):
+        data = b"\xff\xff" + b"\x00\x00" * 2
+        assert Accelerometer.decode_sample(data)[0] == -1
+
+    def test_decode_sample_length_checked(self):
+        with pytest.raises(ValueError):
+            Accelerometer.decode_sample(b"\x00")
+
+
+class TestActivityRecognition:
+    def test_classifier_separates_the_classes(self):
+        stationary = ActivityRecognitionApp.classify((1000, 8))
+        moving = ActivityRecognitionApp.classify((1100, 300))
+        assert not stationary
+        assert moving
+
+    def test_featurise(self):
+        window = [(0, 0, 1000), (0, 0, 1000), (0, 0, 1000)]
+        mean, dev = ActivityRecognitionApp.featurise(window)
+        assert mean == 1000
+        assert dev == 0
+
+    def test_invalid_output_mode(self):
+        with pytest.raises(ValueError):
+            ActivityRecognitionApp(output="smoke-signals")
+
+    def test_counts_stationary_when_still(self, sim):
+        device = make_fast_target(sim)
+        device.i2c.attach(
+            I2C_ADDRESS, Accelerometer(sim, MotionProfile.stationary())
+        )
+        app = ActivityRecognitionApp(output="none", max_iterations=30)
+        executor = IntermittentExecutor(sim, device, app)
+        result = executor.run(duration=10.0)
+        assert result.status is RunStatus.COMPLETED
+        stats = ActivityRecognitionApp.read_stats(executor.api)
+        assert stats["stationary"] > stats["moving"]
+
+    def test_counts_moving_when_walking(self, sim):
+        device = make_fast_target(sim)
+        device.i2c.attach(
+            I2C_ADDRESS, Accelerometer(sim, MotionProfile.walking())
+        )
+        app = ActivityRecognitionApp(output="none", max_iterations=30)
+        executor = IntermittentExecutor(sim, device, app)
+        result = executor.run(duration=10.0)
+        assert result.status is RunStatus.COMPLETED
+        stats = ActivityRecognitionApp.read_stats(executor.api)
+        assert stats["moving"] > stats["stationary"]
+
+    def test_stats_survive_reboots(self, sim):
+        device = make_fast_target(sim)
+        device.i2c.attach(
+            I2C_ADDRESS, Accelerometer(sim, MotionProfile.stationary())
+        )
+        app = ActivityRecognitionApp(output="none", max_iterations=60)
+        executor = IntermittentExecutor(sim, device, app)
+        result = executor.run(duration=20.0)
+        assert result.status is RunStatus.COMPLETED
+        assert result.reboots > 0  # progress spanned power failures
+        stats = ActivityRecognitionApp.read_stats(executor.api)
+        assert stats["total"] >= 60
+
+    def test_edb_printf_mode_emits_trace(self, sim):
+        device = make_fast_target(sim)
+        device.i2c.attach(
+            I2C_ADDRESS, Accelerometer(sim, MotionProfile.stationary())
+        )
+        edb = EDB(sim, device)
+        app = ActivityRecognitionApp(output="edb", max_iterations=5)
+        executor = IntermittentExecutor(sim, device, app, edb=edb.libedb())
+        result = executor.run(duration=10.0)
+        assert result.status is RunStatus.COMPLETED
+        assert len(edb.printf_output) >= 5
+        assert "m=" in edb.printf_output[0][1]
+
+    def test_uart_mode_transmits(self, sim):
+        device = make_fast_target(sim)
+        device.i2c.attach(
+            I2C_ADDRESS, Accelerometer(sim, MotionProfile.stationary())
+        )
+        chunks = []
+        device.uart.subscribe_tx(chunks.append)
+        app = ActivityRecognitionApp(output="uart", max_iterations=5)
+        executor = IntermittentExecutor(sim, device, app)
+        executor.run(duration=10.0)
+        assert b"m=" in b"".join(chunks)
+
+
+class TestRfidFirmware:
+    def _rig(self, seed=31, distance=1.02):
+        sim = Simulator(seed=seed)
+        power = make_wisp_power_system(sim, distance_m=distance, fading_sigma=0.5)
+        device = TargetDevice(sim, power)
+        channel = RfidChannel(sim, distance_m=distance)
+        reader = RFIDReader(sim, channel)
+        return sim, device, channel, reader
+
+    def test_firmware_replies_to_queries(self):
+        sim, device, channel, reader = self._rig()
+        reader.start()
+        app = RfidFirmwareApp(channel, max_replies=10)
+        executor = IntermittentExecutor(sim, device, app)
+        result = executor.run(duration=10.0)
+        assert result.status is RunStatus.COMPLETED
+        assert app.commands_decoded >= 10
+
+    def test_corrupted_commands_fail_decode(self):
+        sim, device, channel, reader = self._rig()
+        channel.downlink_corruption_at_1m = 0.9
+        reader.start()
+        app = RfidFirmwareApp(channel)
+        executor = IntermittentExecutor(sim, device, app)
+        executor.run(duration=3.0)
+        assert app.decode_failures > 0
+
+    def test_response_rate_reasonable_at_one_meter(self):
+        sim, device, channel, reader = self._rig()
+        reader.start()
+        app = RfidFirmwareApp(channel)
+        executor = IntermittentExecutor(sim, device, app)
+        executor.run(duration=10.0)
+        assert 0.5 < reader.stats.response_rate <= 1.0
+
+    def test_tag_power_cycles_while_serving(self):
+        """Figure 12: the sawtooth continues through RFID service."""
+        sim, device, channel, reader = self._rig()
+        reader.start()
+        app = RfidFirmwareApp(channel)
+        executor = IntermittentExecutor(sim, device, app)
+        result = executor.run(duration=10.0)
+        assert result.reboots >= 5
+        assert reader.stats.replies_heard > 50

@@ -1,0 +1,223 @@
+"""Unit tests for the CPU core: opcode semantics, flags, stack, ports."""
+
+import pytest
+
+from repro.mcu.assembler import assemble
+from repro.mcu.cpu import Cpu, CpuError, Halted
+from repro.mcu.isa import FLAG_C, FLAG_N, FLAG_Z
+from repro.mcu.memory import MemoryFault, SRAM_BASE, SRAM_SIZE, make_msp430_memory_map
+
+
+def run_program(source, max_steps=10_000, ports_out=None, ports_in=None):
+    """Assemble, load, and run until HALT; returns the CPU."""
+    memory = make_msp430_memory_map()
+    cpu = Cpu(memory)
+    program = assemble(source)
+    memory.write_bytes(program.origin, program.to_bytes())
+    cpu.reset(program.entry)
+    if ports_out:
+        cpu.ports_out.update(ports_out)
+    if ports_in:
+        cpu.ports_in.update(ports_in)
+    for _ in range(max_steps):
+        try:
+            cpu.step()
+        except Halted:
+            return cpu
+    raise AssertionError("program did not halt")
+
+
+class TestDataMovement:
+    def test_mov_immediate(self):
+        cpu = run_program("mov #42, r4\nhalt")
+        assert cpu.registers[4] == 42
+
+    def test_mov_register(self):
+        cpu = run_program("mov #7, r4\nmov r4, r5\nhalt")
+        assert cpu.registers[5] == 7
+
+    def test_mov_absolute(self):
+        cpu = run_program("v: .word 0\nstart: mov #9, &v\nmov &v, r6\nhalt")
+        assert cpu.registers[6] == 9
+
+    def test_mov_indirect(self):
+        cpu = run_program(
+            "v: .word 0x55\nstart: mov #v, r4\nmov @r4, r5\nhalt"
+        )
+        assert cpu.registers[5] == 0x55
+
+    def test_mov_indexed(self):
+        cpu = run_program(
+            "arr: .word 10, 20, 30\nstart: mov #arr, r4\nmov 4(r4), r5\nhalt"
+        )
+        assert cpu.registers[5] == 30
+
+    def test_negative_indexed_offset(self):
+        cpu = run_program(
+            "arr: .word 10, 20\nstart: mov #arr, r4\n"
+            "add #2, r4\nmov -2(r4), r5\nhalt"
+        )
+        assert cpu.registers[5] == 10
+
+
+class TestArithmetic:
+    def test_add(self):
+        cpu = run_program("mov #3, r4\nadd #4, r4\nhalt")
+        assert cpu.registers[4] == 7
+
+    def test_add_wraps_and_sets_carry(self):
+        cpu = run_program("mov #0xFFFF, r4\nadd #1, r4\nhalt")
+        assert cpu.registers[4] == 0
+        assert cpu.flag(FLAG_C)
+        assert cpu.flag(FLAG_Z)
+
+    def test_sub(self):
+        cpu = run_program("mov #10, r4\nsub #4, r4\nhalt")
+        assert cpu.registers[4] == 6
+
+    def test_sub_borrow_clears_carry(self):
+        cpu = run_program("mov #1, r4\nsub #2, r4\nhalt")
+        assert cpu.registers[4] == 0xFFFF
+        assert not cpu.flag(FLAG_C)
+        assert cpu.flag(FLAG_N)
+
+    def test_cmp_sets_flags_without_writing(self):
+        cpu = run_program("mov #5, r4\ncmp #5, r4\nhalt")
+        assert cpu.registers[4] == 5
+        assert cpu.flag(FLAG_Z)
+
+    def test_logic_ops(self):
+        cpu = run_program(
+            "mov #0b1100, r4\nand #0b1010, r4\n"
+            "mov #0b1100, r5\nor  #0b1010, r5\n"
+            "mov #0b1100, r6\nxor #0b1010, r6\nhalt"
+        )
+        assert cpu.registers[4] == 0b1000
+        assert cpu.registers[5] == 0b1110
+        assert cpu.registers[6] == 0b0110
+
+
+class TestControlFlow:
+    def test_jmp(self):
+        cpu = run_program("jmp skip\nmov #1, r4\nskip: halt")
+        assert cpu.registers[4] == 0
+
+    def test_jz_taken_and_not_taken(self):
+        cpu = run_program(
+            "mov #0, r4\ncmp #0, r4\njz yes\nmov #9, r5\nyes: halt"
+        )
+        assert cpu.registers[5] == 0
+
+    def test_jnz_loop_counts(self):
+        cpu = run_program(
+            "mov #0, r4\nloop: add #1, r4\ncmp #5, r4\njnz loop\nhalt"
+        )
+        assert cpu.registers[4] == 5
+
+    def test_jc_jnc(self):
+        cpu = run_program(
+            "mov #1, r4\nsub #2, r4\njnc borrowed\nmov #1, r5\n"
+            "borrowed: halt"
+        )
+        assert cpu.registers[5] == 0
+
+    def test_jn_on_negative(self):
+        cpu = run_program(
+            "mov #0, r4\nsub #1, r4\njn neg\nmov #1, r5\nneg: halt"
+        )
+        assert cpu.registers[5] == 0
+
+    def test_call_and_ret(self):
+        cpu = run_program(
+            "start: call fn\nmov #2, r5\nhalt\nfn: mov #1, r4\nret"
+        )
+        assert cpu.registers[4] == 1
+        assert cpu.registers[5] == 2
+
+    def test_nested_calls(self):
+        cpu = run_program(
+            "start: call a\nhalt\n"
+            "a: call b\nadd #1, r4\nret\n"
+            "b: mov #10, r4\nret"
+        )
+        assert cpu.registers[4] == 11
+
+
+class TestStack:
+    def test_push_pop(self):
+        cpu = run_program("mov #77, r4\npush r4\nmov #0, r4\npop r5\nhalt")
+        assert cpu.registers[5] == 77
+
+    def test_stack_grows_down_from_sram_top(self):
+        memory = make_msp430_memory_map()
+        cpu = Cpu(memory)
+        program = assemble("push #1\nhalt")
+        memory.write_bytes(program.origin, program.to_bytes())
+        cpu.reset(program.entry)
+        top = cpu.sp
+        cpu.step()
+        assert top == SRAM_BASE + SRAM_SIZE
+        assert cpu.sp == top - 2
+
+    def test_stack_contents_cleared_on_reset(self):
+        cpu = run_program("push #5\nhalt")
+        cpu.reset(0xA000)
+        assert cpu.registers[4:] == [0] * 12
+
+
+class TestPortsAndMarkers:
+    def test_out_port(self):
+        written = []
+        run_program(
+            "mov #3, r4\nout r4, #1\nhalt", ports_out={1: written.append}
+        )
+        assert written == [3]
+
+    def test_in_port(self):
+        cpu = run_program("in #2, r6\nhalt", ports_in={2: lambda: 0x99})
+        assert cpu.registers[6] == 0x99
+
+    def test_unknown_port_faults(self):
+        with pytest.raises(CpuError):
+            run_program("out r4, #9\nhalt")
+
+    def test_mark_invokes_hook(self):
+        memory = make_msp430_memory_map()
+        cpu = Cpu(memory)
+        marks = []
+        cpu.on_mark = marks.append
+        program = assemble("mark #3\nmark #5\nhalt")
+        memory.write_bytes(program.origin, program.to_bytes())
+        cpu.reset(program.entry)
+        for _ in range(3):
+            try:
+                cpu.step()
+            except Halted:
+                break
+        assert marks == [3, 5]
+
+
+class TestFaults:
+    def test_wild_store_raises_memory_fault(self):
+        with pytest.raises(MemoryFault):
+            run_program("mov #0, r4\nmov #1, @r4\nhalt")  # store to NULL
+
+    def test_step_after_halt_raises(self):
+        cpu = run_program("halt")
+        with pytest.raises(Halted):
+            cpu.step()
+
+    def test_spend_called_per_instruction(self):
+        memory = make_msp430_memory_map()
+        spent = []
+        cpu = Cpu(memory, spend=spent.append)
+        program = assemble("mov #1, r4\nhalt")
+        memory.write_bytes(program.origin, program.to_bytes())
+        cpu.reset(program.entry)
+        cpu.step()
+        assert sum(spent) >= 1
+
+    def test_instructions_retired_counter(self):
+        # HALT raises before being counted as retired.
+        cpu = run_program("mov #1, r4\nmov #2, r5\nhalt")
+        assert cpu.instructions_retired == 2

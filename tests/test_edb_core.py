@@ -1,0 +1,304 @@
+"""Integration tests for EDB's core flows: the board + libEDB together.
+
+These exercise the paper's debugging primitives end to end on a live
+simulated target: watchpoint tracing, energy-interference-free printf,
+keep-alive assertions, energy guards, code/energy/combined breakpoints,
+and host memory access through the debug link.
+"""
+
+import pytest
+
+from repro import EDB, Simulator, TargetDevice, make_wisp_power_system
+from repro.core.board import BreakEvent
+from repro.mcu.hlapi import DeviceAPI
+from repro.runtime.executor import AssertionHaltSignal
+from repro.sim import units
+
+
+@pytest.fixture
+def rig(sim):
+    """(device, edb, api-with-libedb) on a charged 47 uF WISP."""
+    power = make_wisp_power_system(sim)
+    device = TargetDevice(sim, power)
+    edb = EDB(sim, device)
+    power.charge_until_on()
+    api = DeviceAPI(device, edb=edb.libedb())
+    return device, edb, api
+
+
+class TestWatchpoints:
+    def test_marker_reaches_monitor(self, rig):
+        device, edb, api = rig
+        api.edb_watchpoint(2)
+        api.edb_watchpoint(2)
+        assert edb.monitor.watchpoint_stats(2).hits == 2
+
+    def test_energy_recorded_with_hit(self, rig):
+        device, edb, api = rig
+        api.edb_watchpoint(1)
+        reading = edb.monitor.watchpoint_stats(1).energy_readings[0]
+        assert reading == pytest.approx(device.power.vcap, abs=0.01)
+
+    def test_watchpoint_cost_is_tiny(self, rig):
+        """Section 4.1.3: marker cost is a single GPIO-holding cycle."""
+        device, edb, api = rig
+        before = device.cycles_executed
+        api.edb_watchpoint(1)
+        assert device.cycles_executed - before <= 2
+
+
+class TestPrintf:
+    def test_text_reaches_host(self, rig):
+        device, edb, api = rig
+        api.edb_printf("hello world")
+        assert edb.printf_output[-1][1] == "hello world"
+
+    def test_live_listener(self, rig):
+        device, edb, api = rig
+        seen = []
+        edb.on_printf(seen.append)
+        api.edb_printf("live")
+        assert seen == ["live"]
+
+    def test_energy_cost_is_small(self, rig):
+        """Table 4: EDB printf costs ~0.1% of storage, not percent-scale."""
+        device, edb, api = rig
+        v0 = device.power.vcap
+        api.edb_printf("i=42 m=1")
+        v1 = device.power.vcap
+        cost = units.cap_energy(47e-6, v0) - units.cap_energy(47e-6, v1)
+        assert abs(cost) < 0.01 * device.constants.full_energy
+
+    def test_target_untethered_after(self, rig):
+        device, edb, api = rig
+        api.edb_printf("x")
+        assert not device.power.is_tethered
+
+    def test_many_printfs_do_not_drain(self, rig):
+        device, edb, api = rig
+        v0 = device.power.vcap
+        for i in range(20):
+            api.edb_printf(f"line {i}")
+        assert device.power.vcap > v0 - 0.1
+
+
+class TestKeepAliveAssert:
+    def test_passing_assert_is_cheap_and_silent(self, rig):
+        device, edb, api = rig
+        before = device.cycles_executed
+        api.edb_assert(True, "fine")
+        assert device.cycles_executed - before <= 3
+        assert edb.board.break_events == []
+
+    def test_failing_assert_tethers_and_halts(self, rig):
+        device, edb, api = rig
+        with pytest.raises(AssertionHaltSignal):
+            api.edb_assert(False, "tail broken")
+        assert device.power.is_tethered  # keep-alive holds the target up
+
+    def test_session_opens_with_live_state(self, rig):
+        device, edb, api = rig
+        address = api.nv_var("evidence")
+        api.store_u16(address, 0xDEAD)
+        captured = {}
+
+        def handler(event, session):
+            captured["value"] = session.read_u16(address)
+            captured["reason"] = event.reason
+
+        edb.on_assert(handler)
+        with pytest.raises(AssertionHaltSignal):
+            api.edb_assert(False, "inspect me")
+        assert captured == {"value": 0xDEAD, "reason": "assert"}
+
+    def test_release_drops_tether(self, rig):
+        device, edb, api = rig
+        with pytest.raises(AssertionHaltSignal):
+            api.edb_assert(False, "x")
+        edb.release()
+        assert not device.power.is_tethered
+
+
+class TestEnergyGuards:
+    def test_guarded_work_is_free(self, rig):
+        device, edb, api = rig
+        device.power.source.enabled = False
+        v0 = device.power.vcap
+        with api.edb_energy_guard():
+            api.compute(4_000_000)  # one full second of work
+        # The guard restores the level to within millivolts.
+        assert abs(device.power.vcap - v0) < 0.02
+
+    def test_unguarded_same_work_browns_out(self, rig):
+        from repro.mcu.device import PowerFailure
+
+        device, edb, api = rig
+        device.power.source.enabled = False
+        with pytest.raises(PowerFailure):
+            api.compute(4_000_000)
+
+    def test_tethered_inside_guard(self, rig):
+        device, edb, api = rig
+        with api.edb_energy_guard():
+            assert device.power.is_tethered
+        assert not device.power.is_tethered
+
+    def test_nested_guards_restore_once(self, rig):
+        device, edb, api = rig
+        records_before = len(edb.save_restore_records)
+        with api.edb_energy_guard():
+            with api.edb_energy_guard():
+                api.compute(1000)
+        assert len(edb.save_restore_records) == records_before + 1
+
+    def test_guard_records_save_restore(self, rig):
+        device, edb, api = rig
+        with api.edb_energy_guard():
+            api.compute(100)
+        record = edb.save_restore_records[-1]
+        # Discharge-only restore: lands at or just below the saved level.
+        assert record.delta_v_true < 0.01
+
+
+class TestCodeBreakpoints:
+    def test_unarmed_breakpoint_is_nearly_free(self, rig):
+        device, edb, api = rig
+        before = device.cycles_executed
+        api.edb_breakpoint(1)
+        assert device.cycles_executed - before <= 4
+        assert edb.board.break_events == []
+
+    def test_armed_breakpoint_opens_session(self, rig):
+        device, edb, api = rig
+        edb.break_at(1)
+        hits = []
+        edb.on_break(lambda event, session: hits.append(event.reason))
+        api.edb_breakpoint(1)
+        assert hits == ["breakpoint"]
+
+    def test_target_resumes_after_service(self, rig):
+        device, edb, api = rig
+        edb.break_at(1)
+        api.edb_breakpoint(1)
+        assert not device.power.is_tethered
+        api.compute(100)  # still alive and running
+
+    def test_session_can_modify_memory(self, rig):
+        device, edb, api = rig
+        address = api.nv_var("patch")
+        api.store_u16(address, 1)
+        edb.break_at(7)
+        edb.on_break(lambda event, session: session.write_u16(address, 99))
+        api.edb_breakpoint(7)
+        assert api.load_u16(address) == 99
+
+    def test_combined_breakpoint_gates_on_energy(self, rig):
+        device, edb, api = rig
+        edb.break_combined(1, threshold_v=2.0)
+        hits = []
+        edb.on_break(lambda event, session: hits.append(event.vcap))
+        api.edb_breakpoint(1)  # vcap ~2.4: no trigger
+        assert hits == []
+        device.power.capacitor.voltage = 1.95
+        api.edb_breakpoint(1)
+        assert len(hits) == 1
+        assert hits[0] <= 2.0
+
+
+class TestEnergyBreakpoints:
+    def test_fires_when_level_crosses_threshold(self, rig):
+        device, edb, api = rig
+        device.power.source.enabled = False
+        edb.break_on_energy(2.2, one_shot=True)
+        hits = []
+        edb.on_break(lambda event, session: hits.append(event))
+        for _ in range(3000):
+            api.compute(400)
+            if hits:
+                break
+        assert len(hits) == 1
+        assert hits[0].reason == "energy_breakpoint"
+        assert hits[0].vcap <= 2.25
+
+    def test_restores_level_and_resumes(self, rig):
+        device, edb, api = rig
+        device.power.source.enabled = False
+        edb.break_on_energy(2.2, one_shot=True)
+        for _ in range(3000):
+            api.compute(400)
+            if edb.board.break_events:
+                break
+        record = edb.save_restore_records[-1]
+        # Trim-up restore: Table 3's small positive discrepancy.
+        assert -0.005 < record.delta_v_true < 0.15
+
+
+class TestHostMemoryAccess:
+    def test_read_write_roundtrip_through_link(self, rig):
+        device, edb, api = rig
+        address = api.nv_var("blob", 8)
+        edb.board.energy.begin_task()
+        edb.board.write_target_memory(address, b"\x11\x22\x33\x44")
+        data = edb.board.read_target_memory(address, 4)
+        edb.board.energy.end_task()
+        assert data == b"\x11\x22\x33\x44"
+
+    def test_link_traffic_costs_target_cycles(self, rig):
+        device, edb, api = rig
+        edb.board.energy.begin_task()
+        before = device.cycles_executed
+        edb.board.read_target_memory(api.nv_var("x"), 2)
+        assert device.cycles_executed > before
+        edb.board.energy.end_task()
+
+
+class TestInterference:
+    def test_passive_attachment_injects_nanoamps(self, rig):
+        device, edb, api = rig
+        api.compute(100)  # let the leakage updater run
+        assert abs(device.power.injected_current) < 2 * units.UA
+
+    def test_interference_report_covers_all_connections(self, rig):
+        _, edb, _ = rig
+        report = edb.interference_report(trials=10)
+        assert len(report) == 12
+
+    def test_detach_zeroes_injection(self, rig):
+        device, edb, api = rig
+        edb.detach()
+        assert device.power.injected_current == 0.0
+
+
+class TestActiveManagerEdgeCases:
+    def test_end_without_begin_raises(self, rig):
+        device, edb, api = rig
+        with pytest.raises(RuntimeError):
+            edb.board.energy.end_task()
+
+    def test_depth_tracks_nesting(self, rig):
+        device, edb, api = rig
+        manager = edb.board.energy
+        assert manager.depth == 0
+        manager.begin_task()
+        manager.begin_task()
+        assert manager.depth == 2
+        manager.end_task()
+        assert manager.depth == 1
+        assert device.power.is_tethered  # still inside the outer bracket
+        manager.end_task()
+        assert manager.depth == 0
+        assert not device.power.is_tethered
+
+    def test_tether_time_accounted(self, rig):
+        device, edb, api = rig
+        manager = edb.board.energy
+        manager.begin_task()
+        device.execute_cycles(40_000)  # 10 ms tethered
+        manager.end_task()
+        assert manager.tether_time_total >= 10e-3
+
+    def test_release_is_idempotent(self, rig):
+        device, edb, api = rig
+        edb.release()
+        edb.release()
+        assert not device.power.is_tethered

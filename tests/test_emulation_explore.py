@@ -1,0 +1,167 @@
+"""Tests for intermittence emulation (§4.2) and design-space exploration."""
+
+import pytest
+
+from repro import EDB, Simulator, TargetDevice, make_wisp_power_system
+from repro.core.emulation import IntermittenceEmulator
+from repro.explore import DesignSpaceExplorer
+from repro.mcu.hlapi import ProgramComplete
+from repro.runtime.nonvolatile import NVCounter
+from repro.sim import units
+
+
+class _CountingApp:
+    name = "counting"
+
+    def __init__(self, target=None):
+        self.target = target
+
+    def flash(self, api):
+        api.device.memory.write_u16(api.nv_var("counter.n"), 0)
+
+    def main(self, api):
+        counter = NVCounter(api, "n")
+        while True:
+            value = counter.increment()
+            api.compute(400)
+            if self.target is not None and value >= self.target:
+                raise ProgramComplete(value)
+
+
+@pytest.fixture
+def emu_rig(sim):
+    # No distance tuning needed: the emulator disables the harvester.
+    power = make_wisp_power_system(sim)
+    device = TargetDevice(sim, power)
+    edb = EDB(sim, device)
+    return device, edb
+
+
+class TestIntermittenceEmulator:
+    def test_cycles_end_in_brownout_without_harvester(self, emu_rig):
+        device, edb = emu_rig
+        emulator = IntermittenceEmulator(edb, _CountingApp())
+        result = emulator.run(cycles=4)
+        assert len(result.cycles) == 4
+        assert all(c.outcome == "brownout" for c in result.cycles)
+
+    def test_progress_accumulates_across_cycles(self, emu_rig):
+        device, edb = emu_rig
+        app = _CountingApp(target=5000)
+        emulator = IntermittenceEmulator(edb, app)
+        result = emulator.run(cycles=20)
+        assert result.outcome == "completed"
+        assert result.count("brownout") >= 1  # needed several cycles
+
+    def test_harvester_restored_after_run(self, emu_rig):
+        device, edb = emu_rig
+        assert device.power.source.enabled
+        IntermittenceEmulator(edb, _CountingApp()).run(cycles=2)
+        assert device.power.source.enabled
+
+    def test_per_cycle_energy_pattern(self, emu_rig):
+        """Higher turn-on level => longer active time in that cycle."""
+        device, edb = emu_rig
+        emulator = IntermittenceEmulator(edb, _CountingApp())
+        result = emulator.run(cycles=2, turn_on_voltage=[2.4, 3.0])
+        weak, strong = result.cycles
+        assert strong.active_time > 1.5 * weak.active_time
+
+    def test_pattern_length_validated(self, emu_rig):
+        device, edb = emu_rig
+        emulator = IntermittenceEmulator(edb, _CountingApp())
+        with pytest.raises(ValueError):
+            emulator.run(cycles=3, turn_on_voltage=[2.4])
+
+    def test_subthreshold_level_rejected(self, emu_rig):
+        device, edb = emu_rig
+        emulator = IntermittenceEmulator(edb, _CountingApp())
+        with pytest.raises(ValueError):
+            emulator.run(cycles=1, turn_on_voltage=2.0)
+
+    def test_emulation_is_deterministic(self, sim):
+        def run_once(seed):
+            s = Simulator(seed=seed)
+            power = make_wisp_power_system(s)
+            device = TargetDevice(s, power)
+            edb = EDB(s, device)
+            app = _CountingApp()
+            emulator = IntermittenceEmulator(edb, app)
+            emulator.run(cycles=3)
+            return device.memory.read_u16(emulator.api.nv_var("counter.n"))
+
+        assert run_once(7) == run_once(7)
+
+    def test_reproduces_the_figure3_bug_without_a_harvester(self, emu_rig):
+        """Emulated intermittence triggers real intermittence bugs."""
+        from repro.apps import LinkedListApp
+
+        device, edb = emu_rig
+        app = LinkedListApp(update_cycles=0)
+        emulator = IntermittenceEmulator(edb, app, edb_linked=False)
+        # Sweep the per-cycle energy so the cut point walks the loop.
+        levels = [2.4 + 0.004 * (i % 40) for i in range(120)]
+        result = emulator.run(
+            cycles=120, turn_on_voltage=levels, stop_on_fault=True
+        )
+        assert result.count("fault") == 1
+        assert "unmapped" in result.cycles[-1].detail
+
+
+class TestDesignSpaceExplorer:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        explorer = DesignSpaceExplorer()
+        return explorer.sweep(
+            capacitances=[10 * units.UF, 47 * units.UF],
+            distances=[1.4, 2.0],
+        )
+
+    def test_sweep_covers_cross_product(self, sweep):
+        assert len(sweep) == 4
+
+    def test_bigger_capacitor_longer_phases(self, sweep):
+        by_key = {(p.capacitance, p.distance_m): p for p in sweep}
+        small = by_key[(10 * units.UF, 1.4)]
+        large = by_key[(47 * units.UF, 1.4)]
+        assert large.charge_time_s > small.charge_time_s
+        assert large.discharge_time_s > small.discharge_time_s
+        assert large.work_per_cycle_j > small.work_per_cycle_j
+
+    def test_further_distance_longer_charge(self, sweep):
+        by_key = {(p.capacitance, p.distance_m): p for p in sweep}
+        near = by_key[(47 * units.UF, 1.4)]
+        far = by_key[(47 * units.UF, 2.0)]
+        assert far.charge_time_s > near.charge_time_s
+        assert far.duty_cycle < near.duty_cycle
+
+    def test_close_range_is_sustained(self):
+        explorer = DesignSpaceExplorer()
+        point = explorer.characterise(47 * units.UF, distance_m=0.5)
+        assert point.sustained
+        assert point.duty_cycle == 1.0
+        assert point.cycles_per_second == 0.0
+
+    def test_extreme_range_cannot_turn_on(self):
+        explorer = DesignSpaceExplorer()
+        point = explorer.characterise(47 * units.UF, distance_m=40.0)
+        assert point.charge_time_s == float("inf")
+
+    def test_render_table(self, sweep):
+        explorer = DesignSpaceExplorer()
+        extra = [
+            explorer.characterise(47 * units.UF, 0.5),
+            explorer.characterise(47 * units.UF, 40.0),
+        ]
+        text = DesignSpaceExplorer.render_table(sweep + extra)
+        assert "cap_uF" in text
+        assert "sustained" in text
+        assert "cannot reach turn-on" in text
+
+    def test_work_energy_consistent_with_cycles(self, sweep):
+        for point in sweep:
+            if point.sustained:
+                continue
+            # work_j ~= I * V * t within the regulation band.
+            approx = point.load_current * 2.0 * point.discharge_time_s
+            assert point.work_per_cycle_j == pytest.approx(approx, rel=0.2)

@@ -1,0 +1,176 @@
+"""Unit tests for the high-level device API (the C-like program model)."""
+
+import pytest
+
+from repro.mcu.device import PowerFailure
+from repro.mcu.hlapi import DeviceAPI
+from repro.mcu.memory import FRAM_BASE, MemoryFault, SRAM_BASE
+
+
+@pytest.fixture
+def api(wisp):
+    return DeviceAPI(wisp)
+
+
+class TestStaticAllocation:
+    def test_nv_var_stable_across_calls(self, api):
+        a = api.nv_var("x")
+        b = api.nv_var("x")
+        assert a == b
+
+    def test_nv_var_distinct_names_distinct_addresses(self, api):
+        assert api.nv_var("x") != api.nv_var("y")
+
+    def test_nv_var_in_fram(self, api):
+        address = api.nv_var("x")
+        assert api.device.memory.region_at(address).name == "fram"
+
+    def test_nv_var_word_aligned(self, api):
+        api.nv_var("odd", size=3)
+        follower = api.nv_var("next")
+        assert follower % 2 == 0
+
+    def test_nv_var_size_conflict_rejected(self, api):
+        api.nv_var("x", size=4)
+        with pytest.raises(ValueError):
+            api.nv_var("x", size=8)
+
+    def test_sram_var_stable_and_volatile_region(self, api):
+        a = api.sram_var("buf", 16)
+        assert api.sram_var("buf", 16) == a
+        assert api.device.memory.region_at(a).name == "sram"
+
+    def test_sram_exhaustion(self, api):
+        with pytest.raises(MemoryError):
+            api.sram_var("huge", 64 * 1024)
+
+
+class TestCostedOperations:
+    def test_load_store_roundtrip(self, api):
+        address = api.nv_var("v")
+        api.store_u16(address, 0xCAFE)
+        assert api.load_u16(address) == 0xCAFE
+
+    def test_ops_cost_cycles(self, api, wisp):
+        before = wisp.cycles_executed
+        api.store_u16(api.nv_var("v"), 1)
+        api.load_u16(api.nv_var("v"))
+        api.compute(10)
+        api.branch()
+        assert wisp.cycles_executed > before
+
+    def test_fram_access_costs_more_than_sram(self, api, wisp):
+        nv = api.nv_var("a")
+        sram = api.sram_var("b")
+        before = wisp.cycles_executed
+        api.load_u16(nv)
+        fram_cost = wisp.cycles_executed - before
+        before = wisp.cycles_executed
+        api.load_u16(sram)
+        sram_cost = wisp.cycles_executed - before
+        assert fram_cost > sram_cost
+
+    def test_memset_fills(self, api):
+        buf = api.sram_var("buf", 8)
+        api.memset(buf, 0xAB, 8)
+        assert api.load_bytes(buf, 8) == b"\xab" * 8
+
+    def test_memset_to_null_faults(self, api):
+        with pytest.raises(MemoryFault):
+            api.memset(0x0000, 0xAB, 8)
+
+    def test_bulk_cost_scales_with_length(self, api, wisp):
+        buf = api.sram_var("big", 128)
+        before = wisp.cycles_executed
+        api.store_bytes(buf, b"\x00" * 4)
+        small = wisp.cycles_executed - before
+        before = wisp.cycles_executed
+        api.store_bytes(buf, b"\x00" * 128)
+        big = wisp.cycles_executed - before
+        assert big > small
+
+    def test_gpio_toggle(self, api, wisp):
+        api.gpio_toggle("main_loop")
+        assert wisp.gpio.read("main_loop")
+        api.gpio_toggle("main_loop")
+        assert not wisp.gpio.read("main_loop")
+
+    def test_led_helper(self, api, wisp):
+        api.led(True)
+        assert wisp.gpio.read("led")
+
+    def test_adc_read_returns_vcap(self, api, wisp):
+        value = api.adc_read("vcap")
+        assert value == pytest.approx(wisp.power.vcap, abs=0.01)
+
+    def test_uart_print_transmits(self, api, wisp):
+        chunks = []
+        wisp.uart.subscribe_tx(chunks.append)
+        api.uart_print("hi")
+        assert b"".join(chunks) == b"hi"
+
+
+class TestReleaseBuildWrappers:
+    """With no EDB linked in, the edb_* wrappers compile to nothing."""
+
+    def test_watchpoint_noop(self, api, wisp):
+        before = wisp.cycles_executed
+        api.edb_watchpoint(1)
+        assert wisp.cycles_executed == before
+
+    def test_printf_noop(self, api):
+        api.edb_printf("nothing happens")
+
+    def test_breakpoint_noop(self, api):
+        api.edb_breakpoint(1)
+
+    def test_energy_guard_noop_context(self, api):
+        with api.edb_energy_guard():
+            api.compute(10)
+
+    def test_passing_assert_noop(self, api):
+        api.edb_assert(True, "fine")
+
+    def test_failing_assert_drains_to_brownout(self, api, wisp):
+        """Conventional assert behaviour: spin until the supply dies."""
+        wisp.power.source.enabled = False
+        with pytest.raises(PowerFailure):
+            api.edb_assert(False, "boom")
+
+    def test_drain_until_brownout_always_fails(self, api, wisp):
+        wisp.power.source.enabled = False
+        with pytest.raises(PowerFailure):
+            api.drain_until_brownout()
+
+
+class TestPostMortemCoreDump:
+    """The §3.3.2 contrast: scarce post-mortem clues vs a live session."""
+
+    def test_no_dump_before_any_failure(self, api):
+        assert api.read_core_dump() is None
+
+    def test_failed_assert_leaves_a_dump(self, api, wisp):
+        wisp.power.source.enabled = False
+        with pytest.raises(PowerFailure):
+            api.edb_assert(False, "boom")
+        dump = api.read_core_dump()
+        assert dump is not None
+        assert dump["failures"] == 1
+        # The recorded voltage is near where the assert fired.
+        assert 1700 < dump["vcap_mv"] < 2500
+
+    def test_dump_counts_repeated_failures(self, api, wisp):
+        wisp.power.source.enabled = False
+        for expected in (1, 2, 3):
+            wisp.power.capacitor.voltage = 2.4
+            wisp.power.reset_comparator()
+            with pytest.raises(PowerFailure):
+                api.edb_assert(False, "again")
+            assert api.read_core_dump()["failures"] == expected
+
+    def test_dump_survives_reboot(self, api, wisp):
+        wisp.power.source.enabled = False
+        with pytest.raises(PowerFailure):
+            api.edb_assert(False, "x")
+        wisp.reboot()
+        assert api.read_core_dump() is not None

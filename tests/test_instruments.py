@@ -1,0 +1,135 @@
+"""Unit tests for the bench instruments (oscilloscope)."""
+
+import pytest
+
+from repro.instruments.oscilloscope import Oscilloscope
+from repro.sim import units
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def scope_rig():
+    sim = Simulator(seed=2)
+    scope = Oscilloscope(sim, sample_rate=1 * units.KHZ)
+    signal = {"v": 1.0}
+    scope.add_channel("vcap", lambda: signal["v"])
+    return sim, scope, signal
+
+
+class TestOscilloscope:
+    def test_samples_at_configured_rate(self, scope_rig):
+        sim, scope, _ = scope_rig
+        scope.start()
+        sim.advance(0.01)
+        times, values = scope.samples("vcap")
+        assert 10 <= len(values) <= 12  # immediate sample + ~10 periodic
+
+    def test_tracks_signal_changes(self, scope_rig):
+        sim, scope, signal = scope_rig
+        scope.start()
+        sim.advance(0.005)
+        signal["v"] = 2.0
+        sim.advance(0.005)
+        _, values = scope.samples("vcap")
+        assert values[0] == pytest.approx(1.0)
+        assert values[-1] == pytest.approx(2.0)
+
+    def test_stop_halts_acquisition(self, scope_rig):
+        sim, scope, _ = scope_rig
+        scope.start()
+        sim.advance(0.005)
+        scope.stop()
+        count = len(scope.samples("vcap")[0])
+        sim.advance(0.01)
+        assert len(scope.samples("vcap")[0]) == count
+
+    def test_start_is_idempotent(self, scope_rig):
+        sim, scope, _ = scope_rig
+        scope.start()
+        scope.start()
+        sim.advance(0.003)
+        assert len(scope.samples("vcap")[0]) <= 5
+
+    def test_digital_channel_stored_as_binary(self, scope_rig):
+        sim, scope, _ = scope_rig
+        state = {"on": False}
+        scope.add_digital_channel("gpio", lambda: state["on"])
+        scope.start()
+        sim.advance(0.002)
+        state["on"] = True
+        sim.advance(0.002)
+        _, values = scope.samples("gpio")
+        assert set(values) <= {0.0, 1.0}
+        assert values[-1] == 1.0
+
+    def test_window_filters_by_time(self, scope_rig):
+        sim, scope, _ = scope_rig
+        scope.start()
+        sim.advance(0.01)
+        times, _ = scope.window("vcap", 0.004, 0.008)
+        assert all(0.004 <= t < 0.008 for t in times)
+
+    def test_single_shot(self, scope_rig):
+        _, scope, signal = scope_rig
+        signal["v"] = 1.7
+        sample = scope.single_shot()
+        assert sample["vcap"] == pytest.approx(1.7)
+
+    def test_duplicate_channel_rejected(self, scope_rig):
+        _, scope, _ = scope_rig
+        with pytest.raises(ValueError):
+            scope.add_channel("vcap", lambda: 0.0)
+
+    def test_unknown_channel_rejected(self, scope_rig):
+        _, scope, _ = scope_rig
+        with pytest.raises(KeyError):
+            scope.samples("nope")
+
+    def test_clear_drops_samples_keeps_channels(self, scope_rig):
+        sim, scope, _ = scope_rig
+        scope.start()
+        sim.advance(0.005)
+        scope.clear()
+        assert scope.samples("vcap") == ([], [])
+        sim.advance(0.002)
+        assert len(scope.samples("vcap")[0]) >= 1
+
+    def test_last_value(self, scope_rig):
+        sim, scope, signal = scope_rig
+        with pytest.raises(ValueError):
+            scope.last_value("vcap")
+        scope.single_shot()
+        assert scope.last_value("vcap") == pytest.approx(1.0)
+
+    def test_ascii_render_contains_stats(self, scope_rig):
+        sim, scope, signal = scope_rig
+        scope.start()
+        for v in (1.0, 2.0, 1.5):
+            signal["v"] = v
+            sim.advance(0.003)
+        art = scope.render_ascii("vcap", width=40, height=6)
+        assert "vcap" in art
+        assert "*" in art
+
+    def test_bad_sample_rate(self):
+        with pytest.raises(ValueError):
+            Oscilloscope(Simulator(), sample_rate=0.0)
+
+    def test_scope_observes_real_power_system(self, sim):
+        """End-to-end: probe a live supply through a discharge."""
+        from repro import TargetDevice, make_wisp_power_system
+
+        power = make_wisp_power_system(sim, distance_m=1.6)
+        device = TargetDevice(sim, power)
+        scope = Oscilloscope(sim, sample_rate=10 * units.KHZ)
+        scope.add_channel("vcap", lambda: power.vcap)
+        scope.start()
+        power.charge_until_on()
+        from repro.mcu.device import PowerFailure
+
+        with pytest.raises(PowerFailure):
+            while True:
+                device.execute_cycles(1000)
+        _, values = scope.samples("vcap")
+        assert max(values) >= 2.39  # saw the turn-on peak
+        assert min(values) <= 1.85  # saw the brown-out trough

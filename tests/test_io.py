@@ -1,0 +1,198 @@
+"""Unit tests for the I/O substrate: lines, UART, I2C."""
+
+import pytest
+
+from repro.io.i2c import I2CBus, I2CError
+from repro.io.lines import DigitalLine, LineMonitor
+from repro.io.uart import Uart
+from repro.sim import units
+
+
+class TestDigitalLine:
+    def test_drive_changes_state(self, sim):
+        line = DigitalLine(sim, "x")
+        line.drive(True)
+        assert line.state
+
+    def test_same_state_no_transition(self, sim):
+        line = DigitalLine(sim, "x")
+        line.drive(False)
+        assert line.transitions == 0
+
+    def test_listeners_fire_on_edges(self, sim):
+        line = DigitalLine(sim, "x")
+        edges = []
+        line.subscribe(edges.append)
+        line.drive(True)
+        line.drive(False)
+        assert edges == [True, False]
+
+    def test_pulse_counts_two_transitions(self, sim):
+        line = DigitalLine(sim, "x")
+        line.pulse()
+        assert line.transitions == 2
+        assert not line.state
+
+    def test_unsubscribe(self, sim):
+        line = DigitalLine(sim, "x")
+        edges = []
+        listener = edges.append
+        line.subscribe(listener)
+        line.drive(True)
+        line.unsubscribe(listener)
+        line.drive(False)
+        assert edges == [True]
+
+    def test_unsubscribe_unknown_listener_is_noop(self, sim):
+        line = DigitalLine(sim, "x")
+        line.unsubscribe(lambda s: None)  # never subscribed
+
+    def test_trace_records_edges(self, sim):
+        line = DigitalLine(sim, "probe")
+        line.drive(True)
+        assert sim.trace.count("line.probe") == 1
+
+
+class TestLineMonitor:
+    def test_collects_timestamped_edges(self, sim):
+        monitor = LineMonitor(sim)
+        line = DigitalLine(sim, "tx")
+        monitor.attach(line)
+        line.drive(True)
+        sim.advance(1e-3)
+        line.drive(False)
+        edges = monitor.edges_for("tx")
+        assert edges[0][1] is True
+        assert edges[1][0] == pytest.approx(1e-3)
+
+    def test_detach_stops_recording(self, sim):
+        monitor = LineMonitor(sim)
+        line = DigitalLine(sim, "tx")
+        monitor.attach(line)
+        monitor.detach(line)
+        line.drive(True)
+        assert monitor.edges_for("tx") == []
+
+    def test_attach_idempotent(self, sim):
+        monitor = LineMonitor(sim)
+        line = DigitalLine(sim, "tx")
+        monitor.attach(line)
+        monitor.attach(line)
+        line.drive(True)
+        assert len(monitor.edges_for("tx")) == 1
+
+
+class TestUart:
+    def test_transmit_notifies_listeners(self, sim):
+        uart = Uart(sim)
+        chunks = []
+        uart.subscribe_tx(chunks.append)
+        uart.transmit(b"ok")
+        assert b"".join(chunks) == b"ok"
+
+    def test_transmit_costs_time_per_byte(self, sim):
+        spent = []
+        uart = Uart(sim, spend=lambda t, i: spent.append((t, i)), baud=115200)
+        uart.transmit(b"abc")
+        assert len(spent) == 3
+        assert spent[0][0] == pytest.approx(10 / 115200)
+
+    def test_tx_draws_extra_current(self, sim):
+        spent = []
+        uart = Uart(sim, spend=lambda t, i: spent.append(i))
+        uart.transmit(b"x")
+        assert spent[0] == pytest.approx(1.5 * units.MA)
+
+    def test_receive_returns_queued_bytes(self, sim):
+        uart = Uart(sim)
+        uart.feed_rx(b"hello")
+        assert uart.receive(3) == b"hel"
+        assert uart.rx_pending == 2
+
+    def test_receive_more_than_pending(self, sim):
+        uart = Uart(sim)
+        uart.feed_rx(b"ab")
+        assert uart.receive(10) == b"ab"
+
+    def test_reset_drops_rx(self, sim):
+        uart = Uart(sim)
+        uart.feed_rx(b"stale")
+        uart.reset()
+        assert uart.rx_pending == 0
+
+    def test_transfer_energy_estimate(self, sim):
+        uart = Uart(sim, baud=115200)
+        energy = uart.transfer_energy(10, rail_voltage=2.0)
+        assert energy == pytest.approx(1.5e-3 * 2.0 * 10 * 10 / 115200)
+
+    def test_bad_baud_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Uart(sim, baud=0)
+
+    def test_byte_counters(self, sim):
+        uart = Uart(sim)
+        uart.transmit(b"abc")
+        uart.feed_rx(b"12")
+        uart.receive(2)
+        assert uart.bytes_transmitted == 3
+        assert uart.bytes_received == 2
+
+
+class _FakeSensor:
+    def __init__(self):
+        self.registers = {0: 0x11, 1: 0x22, 5: 0x55}
+        self.writes = {}
+
+    def read_register(self, register):
+        return self.registers.get(register, 0)
+
+    def write_register(self, register, value):
+        self.writes[register] = value
+
+
+class TestI2C:
+    def test_read_registers(self, sim):
+        bus = I2CBus(sim)
+        bus.attach(0x1D, _FakeSensor())
+        assert bus.read(0x1D, 0, 2) == b"\x11\x22"
+
+    def test_write_registers(self, sim):
+        bus = I2CBus(sim)
+        sensor = _FakeSensor()
+        bus.attach(0x1D, sensor)
+        bus.write(0x1D, 5, b"\x99")
+        assert sensor.writes[5] == 0x99
+
+    def test_missing_device_nacks(self, sim):
+        bus = I2CBus(sim)
+        with pytest.raises(I2CError):
+            bus.read(0x55, 0)
+
+    def test_address_conflict_rejected(self, sim):
+        bus = I2CBus(sim)
+        bus.attach(0x1D, _FakeSensor())
+        with pytest.raises(ValueError):
+            bus.attach(0x1D, _FakeSensor())
+
+    def test_address_range_checked(self, sim):
+        bus = I2CBus(sim)
+        with pytest.raises(ValueError):
+            bus.attach(0x80, _FakeSensor())
+
+    def test_transactions_cost_time(self, sim):
+        spent = []
+        bus = I2CBus(sim, spend=lambda t, i: spent.append(t))
+        bus.attach(0x1D, _FakeSensor())
+        bus.read(0x1D, 0, 6)
+        # 3 + 6 bytes at 9 bits / 400 kHz
+        assert spent[0] == pytest.approx(9 * 9 / 400e3)
+
+    def test_listeners_observe_transactions(self, sim):
+        bus = I2CBus(sim)
+        bus.attach(0x1D, _FakeSensor())
+        records = []
+        bus.subscribe(records.append)
+        bus.read(0x1D, 0, 1)
+        bus.write(0x1D, 1, b"\x01")
+        assert [r["kind"] for r in records] == ["read", "write"]
+        assert records[0]["data"] == b"\x11"

@@ -1,0 +1,171 @@
+"""Unit + property tests for the ISA: encoding, decoding, validation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mcu.isa import (
+    DecodeError,
+    Instruction,
+    Mode,
+    NUM_REGISTERS,
+    OPERAND_SHAPE,
+    Op,
+    Operand,
+    absolute,
+    decode,
+    imm,
+    indexed,
+    indirect,
+    reg,
+)
+
+
+def _decode_words(words):
+    image = {2 * i: w for i, w in enumerate(words)}
+    return decode(lambda addr: image.get(addr, 0), 0)
+
+
+class TestOperands:
+    def test_register_render(self):
+        assert reg(4).render() == "r4"
+
+    def test_immediate_render(self):
+        assert imm(10).render() == "#10"
+
+    def test_absolute_render(self):
+        assert absolute(0x4400).render() == "&0x4400"
+
+    def test_indexed_render(self):
+        assert indexed(4, 5).render() == "4(r5)"
+
+    def test_indirect_render(self):
+        assert indirect(7).render() == "@r7"
+
+    def test_register_out_of_range(self):
+        with pytest.raises(ValueError):
+            Operand(Mode.REG, reg=16)
+
+    def test_register_mode_takes_no_value(self):
+        with pytest.raises(ValueError):
+            Operand(Mode.REG, reg=1, value=5)
+
+    def test_immediate_wraps_to_16_bits(self):
+        assert imm(-1).value == 0xFFFF
+
+    def test_extension_modes(self):
+        assert imm(1).needs_extension
+        assert absolute(2).needs_extension
+        assert indexed(0, 1).needs_extension
+        assert not reg(1).needs_extension
+        assert not indirect(1).needs_extension
+
+
+class TestInstructionValidation:
+    def test_mov_requires_both_operands(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.MOV, src=imm(1))
+
+    def test_nop_takes_no_operands(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.NOP, src=imm(1))
+
+    def test_immediate_destination_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.MOV, src=imm(1), dst=imm(2))
+
+    def test_out_allows_immediate_port(self):
+        ins = Instruction(Op.OUT, src=reg(4), dst=imm(7))
+        assert ins.dst.value == 7
+
+    def test_sizes(self):
+        assert Instruction(Op.NOP).size_words == 2
+        assert Instruction(Op.MOV, src=imm(1), dst=reg(2)).size_words == 3
+        assert (
+            Instruction(Op.MOV, src=imm(1), dst=absolute(0x4400)).size_words == 4
+        )
+
+    def test_cycle_costs_reflect_complexity(self):
+        simple = Instruction(Op.MOV, src=reg(1), dst=reg(2))
+        complex_ = Instruction(Op.MOV, src=absolute(2), dst=indexed(4, 3))
+        assert complex_.cycles() > simple.cycles()
+
+    def test_stack_ops_cost_more(self):
+        assert Instruction(Op.RET).cycles() > Instruction(Op.NOP).cycles()
+
+    def test_render(self):
+        ins = Instruction(Op.ADD, src=imm(1), dst=reg(4))
+        assert ins.render() == "add #1, r4"
+        assert Instruction(Op.RET).render() == "ret"
+
+
+def _operand_strategy(extended_ok=True):
+    modes = [Mode.REG, Mode.IND]
+    if extended_ok:
+        modes += [Mode.IMM, Mode.ABS, Mode.IDX]
+
+    def build(mode, register, value):
+        if mode in (Mode.REG, Mode.IND):
+            return Operand(mode, reg=register)
+        return Operand(mode, reg=register if mode is Mode.IDX else 0, value=value)
+
+    return st.builds(
+        build,
+        st.sampled_from(modes),
+        st.integers(0, NUM_REGISTERS - 1),
+        st.integers(0, 0xFFFF),
+    )
+
+
+def _instruction_strategy():
+    def build(op, src, dst):
+        has_src, has_dst = OPERAND_SHAPE[op]
+        if has_dst and dst.mode is Mode.IMM and op is not Op.OUT:
+            dst = Operand(Mode.REG, reg=dst.reg if dst.reg < 16 else 0)
+        return Instruction(
+            op,
+            src=src if has_src else Operand(Mode.NONE),
+            dst=dst if has_dst else Operand(Mode.NONE),
+        )
+
+    return st.builds(
+        build,
+        st.sampled_from(list(Op)),
+        _operand_strategy(),
+        _operand_strategy(),
+    )
+
+
+class TestEncodeDecode:
+    def test_simple_roundtrip(self):
+        ins = Instruction(Op.MOV, src=imm(0x1234), dst=absolute(0x4400))
+        decoded, size = _decode_words(ins.encode())
+        assert decoded == ins
+        assert size == ins.size_bytes
+
+    def test_all_opcode_values_distinct(self):
+        values = [int(op) for op in Op]
+        assert len(values) == len(set(values))
+
+    def test_invalid_opcode_raises(self):
+        with pytest.raises(DecodeError):
+            _decode_words([0xFF00, 0x0000])
+
+    def test_invalid_mode_raises(self):
+        # opcode MOV with src mode 0xF (undefined)
+        with pytest.raises(DecodeError):
+            _decode_words([(0x01 << 8) | 0xF1, 0x0000])
+
+    def test_register_out_of_range_raises(self):
+        ins = Instruction(Op.MOV, src=reg(1), dst=reg(2))
+        words = ins.encode()
+        words[1] = 0xFF00 | (words[1] & 0xFF)  # src reg 255
+        with pytest.raises(DecodeError):
+            _decode_words(words)
+
+    @given(_instruction_strategy())
+    def test_roundtrip_property(self, ins):
+        """Every well-formed instruction encodes and decodes identically."""
+        decoded, size = _decode_words(ins.encode())
+        assert decoded == ins
+        assert size == 2 * len(ins.encode())

@@ -1,0 +1,140 @@
+"""Tests for the ISA intermittent executor and the assembly workloads."""
+
+import pytest
+
+from repro import RunStatus, Simulator, TargetDevice, make_wisp_power_system
+from repro.apps.asm_programs import (
+    assemble_fibonacci,
+    assemble_heartbeat,
+    assemble_summation,
+    read_fibonacci,
+    seed_fibonacci,
+)
+from repro.mcu.assembler import assemble
+from repro.mcu.memory import FRAM_BASE
+from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.isa_executor import IsaIntermittentExecutor
+
+CHECKPOINT_BASE = FRAM_BASE + 0x8000
+
+
+def _target(sim, distance=1.6):
+    power = make_wisp_power_system(sim, distance_m=distance)
+    return TargetDevice(sim, power)
+
+
+class TestIsaExecutor:
+    def test_short_program_completes(self, sim):
+        device = _target(sim)
+        program = assemble("start: mov #1, r4\nmov r4, &0x4400\nhalt")
+        executor = IsaIntermittentExecutor(sim, device, program)
+        result = executor.run(duration=2.0)
+        assert result.status is RunStatus.COMPLETED
+        assert device.memory.read_u16(0x4400) == 1
+
+    def test_endless_program_times_out(self, sim):
+        device = _target(sim)
+        program = assemble("loop: jmp loop")
+        executor = IsaIntermittentExecutor(sim, device, program)
+        result = executor.run(duration=0.3)
+        assert result.status is RunStatus.TIMEOUT
+        assert result.boots >= 1
+
+    def test_wild_store_crashes(self, sim):
+        device = _target(sim)
+        program = assemble("start: mov #0, r4\nmov #1, @r4\nhalt")
+        executor = IsaIntermittentExecutor(sim, device, program)
+        result = executor.run(duration=1.0)
+        assert result.status is RunStatus.CRASHED
+        assert "unmapped" in result.faults[0]
+
+    def test_starved_without_harvest(self, sim):
+        device = _target(sim)
+        device.power.source.enabled = False
+        program = assemble("loop: jmp loop")
+        executor = IsaIntermittentExecutor(sim, device, program)
+        result = executor.run(duration=5.0)
+        assert result.status is RunStatus.STARVED
+
+    def test_long_workload_needs_checkpoints(self, sim):
+        device = _target(sim)
+        program = assemble_summation(30000)
+        executor = IsaIntermittentExecutor(sim, device, program)
+        # ~8 boots, each able to cover barely half the workload.
+        result = executor.run(duration=0.8)
+        assert result.status is RunStatus.TIMEOUT  # Sisyphean
+
+    def test_long_workload_completes_with_checkpoints(self, sim):
+        device = _target(sim)
+        program = assemble_summation(30000)
+        manager = CheckpointManager(device, CHECKPOINT_BASE)
+        executor = IsaIntermittentExecutor(
+            sim, device, program, checkpoints=manager
+        )
+        result = executor.run(duration=4.0)
+        assert result.status is RunStatus.COMPLETED
+        expected = (30000 * 30001 // 2) & 0xFFFF
+        assert device.memory.read_u16(program.symbols["total"]) == expected
+        assert manager.checkpoints_taken > 0
+
+    def test_checkpoint_every_validated(self, sim):
+        device = _target(sim)
+        with pytest.raises(ValueError):
+            IsaIntermittentExecutor(
+                sim,
+                device,
+                assemble("loop: jmp loop"),
+                checkpoints=CheckpointManager(device, CHECKPOINT_BASE),
+                checkpoint_every=0,
+            )
+
+
+class TestAsmFibonacci:
+    def test_produces_the_sequence_intermittently(self, sim):
+        device = _target(sim)
+        program = assemble_fibonacci()
+        executor = IsaIntermittentExecutor(sim, device, program)
+        seed_fibonacci(device, program)
+        result = executor.run(duration=5.0)
+        assert result.status is RunStatus.COMPLETED
+        values = read_fibonacci(device, program, 40)
+        for a, b, c in zip(values, values[1:], values[2:]):
+            assert c == (a + b) & 0xFFFF
+
+    def test_progress_is_nv(self, sim):
+        """Progress (the index word) survives reboots one-at-a-time."""
+        device = _target(sim)
+        program = assemble_fibonacci()
+        executor = IsaIntermittentExecutor(sim, device, program)
+        seed_fibonacci(device, program)
+        result = executor.run(duration=5.0)
+        assert result.status is RunStatus.COMPLETED
+        assert device.memory.read_u16(program.symbols["index"]) == 40
+
+    def test_watchpoints_fire_via_mark(self, sim):
+        device = _target(sim)
+        hits = []
+        device.on_code_marker.append(hits.append)
+        program = assemble_fibonacci()
+        executor = IsaIntermittentExecutor(sim, device, program)
+        seed_fibonacci(device, program)
+        executor.run(duration=5.0)
+        assert hits.count(1) >= 38  # one per produced element
+        assert hits.count(2) == 1  # completion marker
+
+
+class TestAsmHeartbeat:
+    def test_port_drives_gpio(self, sim):
+        device = _target(sim)
+        edges = []
+        device.cpu.ports_out[0x01] = lambda v: device.gpio.write(
+            "main_loop", bool(v)
+        )
+        device.gpio.subscribe("main_loop", lambda name, s: edges.append(s))
+        program = assemble_heartbeat()
+        executor = IsaIntermittentExecutor(sim, device, program)
+        result = executor.run(duration=0.2)
+        assert result.status is RunStatus.TIMEOUT  # endless by design
+        assert len(edges) > 100
+        beats = device.memory.read_u16(program.symbols["beats"])
+        assert beats > 50

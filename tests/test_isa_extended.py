@@ -1,0 +1,120 @@
+"""Tests for the extended single-operand ISA instructions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mcu.assembler import assemble
+from repro.mcu.cpu import Cpu, Halted
+from repro.mcu.isa import FLAG_C, FLAG_N, FLAG_Z
+from repro.mcu.memory import make_msp430_memory_map
+
+
+def run_program(source, max_steps=10_000):
+    memory = make_msp430_memory_map()
+    cpu = Cpu(memory)
+    program = assemble(source)
+    memory.write_bytes(program.origin, program.to_bytes())
+    cpu.reset(program.entry)
+    for _ in range(max_steps):
+        try:
+            cpu.step()
+        except Halted:
+            return cpu
+    raise AssertionError("program did not halt")
+
+
+class TestIncDec:
+    def test_inc(self):
+        cpu = run_program("mov #41, r4\ninc r4\nhalt")
+        assert cpu.registers[4] == 42
+
+    def test_inc_wraps_with_carry(self):
+        cpu = run_program("mov #0xFFFF, r4\ninc r4\nhalt")
+        assert cpu.registers[4] == 0
+        assert cpu.flag(FLAG_C)
+        assert cpu.flag(FLAG_Z)
+
+    def test_dec(self):
+        cpu = run_program("mov #10, r4\ndec r4\nhalt")
+        assert cpu.registers[4] == 9
+
+    def test_dec_borrows(self):
+        cpu = run_program("mov #0, r4\ndec r4\nhalt")
+        assert cpu.registers[4] == 0xFFFF
+        assert not cpu.flag(FLAG_C)
+        assert cpu.flag(FLAG_N)
+
+    def test_inc_memory_operand(self):
+        cpu = run_program("v: .word 5\nstart: inc &v\nhalt")
+        memory_value = cpu.memory.read_u16(0xA000)
+        assert memory_value == 6
+
+
+class TestShifts:
+    def test_shl_doubles(self):
+        cpu = run_program("mov #3, r4\nshl r4\nhalt")
+        assert cpu.registers[4] == 6
+
+    def test_shl_msb_to_carry(self):
+        cpu = run_program("mov #0x8001, r4\nshl r4\nhalt")
+        assert cpu.registers[4] == 0x0002
+        assert cpu.flag(FLAG_C)
+
+    def test_shr_halves(self):
+        cpu = run_program("mov #8, r4\nshr r4\nhalt")
+        assert cpu.registers[4] == 4
+
+    def test_shr_lsb_to_carry(self):
+        cpu = run_program("mov #3, r4\nshr r4\nhalt")
+        assert cpu.registers[4] == 1
+        assert cpu.flag(FLAG_C)
+
+    def test_shift_loop_multiplies_by_16(self):
+        cpu = run_program(
+            "mov #5, r4\nmov #4, r5\n"
+            "loop: shl r4\ndec r5\njnz loop\nhalt"
+        )
+        assert cpu.registers[4] == 80
+
+
+class TestSwpbInvBit:
+    def test_swpb(self):
+        cpu = run_program("mov #0x1234, r4\nswpb r4\nhalt")
+        assert cpu.registers[4] == 0x3412
+
+    def test_swpb_twice_is_identity(self):
+        cpu = run_program("mov #0xBEEF, r4\nswpb r4\nswpb r4\nhalt")
+        assert cpu.registers[4] == 0xBEEF
+
+    def test_inv(self):
+        cpu = run_program("mov #0x00FF, r4\ninv r4\nhalt")
+        assert cpu.registers[4] == 0xFF00
+
+    def test_bit_sets_flags_without_writing(self):
+        cpu = run_program("mov #0b1100, r4\nbit #0b0100, r4\nhalt")
+        assert cpu.registers[4] == 0b1100  # unchanged
+        assert not cpu.flag(FLAG_Z)
+
+    def test_bit_zero_result(self):
+        cpu = run_program("mov #0b1100, r4\nbit #0b0011, r4\nhalt")
+        assert cpu.flag(FLAG_Z)
+
+
+class TestEncodingOfNewOps:
+    @given(value=st.integers(0, 0xFFFF))
+    def test_swpb_semantics_property(self, value):
+        cpu = run_program(f"mov #{value}, r4\nswpb r4\nhalt")
+        expected = ((value & 0xFF) << 8) | (value >> 8)
+        assert cpu.registers[4] == expected
+
+    @given(value=st.integers(0, 0xFFFF))
+    def test_shl_shr_relationship(self, value):
+        cpu = run_program(f"mov #{value}, r4\nshl r4\nshr r4\nhalt")
+        # Shifting left then right clears the MSB.
+        assert cpu.registers[4] == (value << 1 & 0xFFFF) >> 1
+
+    @given(value=st.integers(0, 0xFFFF))
+    def test_inv_is_involution(self, value):
+        cpu = run_program(f"mov #{value}, r4\ninv r4\ninv r4\nhalt")
+        assert cpu.registers[4] == value

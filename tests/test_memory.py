@@ -1,0 +1,157 @@
+"""Unit + property tests for the target memory model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mcu.memory import (
+    FRAM_BASE,
+    MemoryFault,
+    MemoryMap,
+    MemoryRegion,
+    SRAM_BASE,
+    make_msp430_memory_map,
+)
+
+
+class TestMemoryRegion:
+    def test_byte_roundtrip(self):
+        region = MemoryRegion("r", 0x100, 16, volatile=True)
+        region.write_u8(0x105, 0xAB)
+        assert region.read_u8(0x105) == 0xAB
+
+    def test_word_roundtrip_little_endian(self):
+        region = MemoryRegion("r", 0x100, 16, volatile=True)
+        region.write_u16(0x102, 0x1234)
+        assert region.read_u8(0x102) == 0x34
+        assert region.read_u8(0x103) == 0x12
+
+    def test_byte_value_truncated(self):
+        region = MemoryRegion("r", 0, 4, volatile=True)
+        region.write_u8(0, 0x1FF)
+        assert region.read_u8(0) == 0xFF
+
+    def test_out_of_bounds_faults(self):
+        region = MemoryRegion("r", 0x100, 16, volatile=True)
+        with pytest.raises(MemoryFault):
+            region.read_u8(0x110)
+        with pytest.raises(MemoryFault):
+            region.read_u8(0xFF)
+
+    def test_word_access_straddling_end_faults(self):
+        region = MemoryRegion("r", 0x100, 16, volatile=True)
+        with pytest.raises(MemoryFault):
+            region.read_u16(0x10F + 1)
+
+    def test_misaligned_word_faults(self):
+        region = MemoryRegion("r", 0x100, 16, volatile=True)
+        with pytest.raises(MemoryFault):
+            region.read_u16(0x101)
+        with pytest.raises(MemoryFault):
+            region.write_u16(0x103, 1)
+
+    def test_fault_carries_address(self):
+        region = MemoryRegion("r", 0x100, 16, volatile=True)
+        with pytest.raises(MemoryFault) as excinfo:
+            region.read_u8(0x200)
+        assert excinfo.value.address == 0x200
+
+    def test_bulk_roundtrip(self):
+        region = MemoryRegion("r", 0, 64, volatile=False)
+        region.write_bytes(8, b"hello world")
+        assert region.read_bytes(8, 11) == b"hello world"
+
+    def test_clear_zeros_contents(self):
+        region = MemoryRegion("r", 0, 8, volatile=True)
+        region.write_u16(0, 0xFFFF)
+        region.clear()
+        assert region.read_u16(0) == 0
+
+    def test_access_counters(self):
+        region = MemoryRegion("r", 0, 8, volatile=True)
+        region.write_u16(0, 1)
+        region.read_u16(0)
+        region.read_u8(1)
+        assert region.writes == 1
+        assert region.reads == 2
+
+    @given(
+        addr=st.integers(0, 30),
+        value=st.integers(0, 0xFFFF),
+    )
+    def test_word_roundtrip_property(self, addr, value):
+        region = MemoryRegion("r", 0, 32, volatile=True)
+        addr -= addr % 2
+        region.write_u16(addr, value)
+        assert region.read_u16(addr) == value
+
+
+class TestMemoryMap:
+    def test_msp430_map_has_sram_and_fram(self):
+        memory = make_msp430_memory_map()
+        assert memory.region("sram").volatile
+        assert not memory.region("fram").volatile
+
+    def test_unknown_region_name(self):
+        memory = make_msp430_memory_map()
+        with pytest.raises(KeyError):
+            memory.region("flash")
+
+    def test_routes_by_address(self):
+        memory = make_msp430_memory_map()
+        memory.write_u16(SRAM_BASE, 0x1111)
+        memory.write_u16(FRAM_BASE, 0x2222)
+        assert memory.read_u16(SRAM_BASE) == 0x1111
+        assert memory.read_u16(FRAM_BASE) == 0x2222
+
+    def test_null_pointer_dereference_faults(self):
+        """Address 0 is unmapped: the Figure 3 wild write lands here."""
+        memory = make_msp430_memory_map()
+        with pytest.raises(MemoryFault):
+            memory.read_u16(0x0000)
+        with pytest.raises(MemoryFault):
+            memory.write_u16(0x0002, 0xDEAD)
+
+    def test_gap_between_regions_faults(self):
+        memory = make_msp430_memory_map()
+        with pytest.raises(MemoryFault):
+            memory.read_u8(0x3000)  # between SRAM end and FRAM base
+
+    def test_clear_volatile_preserves_fram(self):
+        """Reboot semantics: SRAM cleared, FRAM retained."""
+        memory = make_msp430_memory_map()
+        memory.write_u16(SRAM_BASE, 0xAAAA)
+        memory.write_u16(FRAM_BASE, 0xBBBB)
+        memory.clear_volatile()
+        assert memory.read_u16(SRAM_BASE) == 0
+        assert memory.read_u16(FRAM_BASE) == 0xBBBB
+
+    def test_overlapping_regions_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryMap(
+                [
+                    MemoryRegion("a", 0, 16, volatile=True),
+                    MemoryRegion("b", 8, 16, volatile=True),
+                ]
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryMap(
+                [
+                    MemoryRegion("a", 0, 16, volatile=True),
+                    MemoryRegion("a", 32, 16, volatile=True),
+                ]
+            )
+
+    def test_fram_costs_more_cycles_than_sram(self):
+        memory = make_msp430_memory_map()
+        assert (
+            memory.region("fram").read_cycles > memory.region("sram").read_cycles
+        )
+
+    @given(data=st.binary(min_size=1, max_size=64), offset=st.integers(0, 100))
+    def test_bulk_roundtrip_through_map(self, data, offset):
+        memory = make_msp430_memory_map()
+        memory.write_bytes(FRAM_BASE + offset, data)
+        assert memory.read_bytes(FRAM_BASE + offset, len(data)) == data

@@ -1,0 +1,176 @@
+"""Tests for units/conversions, environment profiles, session, facade."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import EDB, Simulator, TargetDevice, make_wisp_power_system
+from repro.power.harvester import RFHarvester
+from repro.power.profiles import (
+    DistanceStep,
+    MovementProfile,
+    ReaderDutyCycle,
+    sawtooth_rf_trace,
+)
+from repro.sim import units
+
+
+class TestUnits:
+    def test_prefix_values(self):
+        assert 1 * units.MA == 1e-3
+        assert 1 * units.UA == 1e-6
+        assert 1 * units.NA == 1e-9
+        assert 47 * units.UF == pytest.approx(47e-6)
+        assert 4 * units.MHZ == 4e6
+
+    def test_dbm_conversions(self):
+        assert units.dbm_to_watts(30.0) == pytest.approx(1.0)
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+        assert units.watts_to_dbm(1.0) == pytest.approx(30.0)
+
+    def test_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(0.0)
+
+    @given(dbm=st.floats(-30, 40))
+    def test_dbm_roundtrip(self, dbm):
+        assert units.watts_to_dbm(units.dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+    def test_cap_energy_monotone_in_voltage(self):
+        assert units.cap_energy(47e-6, 2.4) > units.cap_energy(47e-6, 1.8)
+
+    def test_cap_voltage_of_zero_energy(self):
+        assert units.cap_voltage(47e-6, 0.0) == 0.0
+
+
+class TestMovementProfile:
+    def test_distance_changes_on_schedule(self):
+        sim = Simulator(seed=1)
+        harvester = RFHarvester(distance_m=1.0)
+        MovementProfile(
+            sim,
+            harvester,
+            [DistanceStep(1.0, 0.5), DistanceStep(2.0, 0.5), DistanceStep(0.5, 0.5)],
+        )
+        sim.advance(0.1)
+        assert harvester.distance_m == 1.0
+        sim.advance(0.5)
+        assert harvester.distance_m == 2.0
+        sim.advance(0.5)
+        assert harvester.distance_m == 0.5
+
+    def test_final_distance_holds(self):
+        sim = Simulator(seed=1)
+        harvester = RFHarvester(distance_m=1.0)
+        MovementProfile(sim, harvester, [DistanceStep(3.0, 0.1)])
+        sim.advance(5.0)
+        assert harvester.distance_m == 3.0
+
+    def test_empty_profile_rejected(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ValueError):
+            MovementProfile(sim, RFHarvester(), [])
+
+    def test_changes_recorded_in_trace(self):
+        sim = Simulator(seed=1)
+        MovementProfile(sim, RFHarvester(), [DistanceStep(2.0, 0.1)])
+        sim.advance(0.2)
+        assert sim.trace.count("env.distance") == 1
+
+
+class TestReaderDutyCycle:
+    def test_carrier_toggles(self):
+        sim = Simulator(seed=1)
+        harvester = RFHarvester()
+        ReaderDutyCycle(sim, harvester, on_time=0.1, off_time=0.05)
+        assert harvester.enabled
+        sim.advance(0.12)
+        assert not harvester.enabled
+        sim.advance(0.05)
+        assert harvester.enabled
+
+    def test_invalid_times_rejected(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ValueError):
+            ReaderDutyCycle(sim, RFHarvester(), on_time=0.0)
+
+
+class TestSawtoothTrace:
+    def test_alternates_voc(self):
+        source = sawtooth_rf_trace(1.0, period_s=0.2, duty=0.5)
+        assert source.open_circuit_voltage(0.05) > 0
+        assert source.open_circuit_voltage(0.15) == 0.0
+        assert source.open_circuit_voltage(0.25) > 0
+
+    def test_duty_validated(self):
+        with pytest.raises(ValueError):
+            sawtooth_rf_trace(1.0, duty=1.5)
+
+
+class TestDebuggerFacade:
+    def test_double_attach_rejected(self, sim):
+        power = make_wisp_power_system(sim)
+        device = TargetDevice(sim, power)
+        edb = EDB(sim, device)
+        with pytest.raises(RuntimeError):
+            edb.board.attach(device)
+
+    def test_libedb_is_cached(self, sim):
+        power = make_wisp_power_system(sim)
+        device = TargetDevice(sim, power)
+        edb = EDB(sim, device)
+        assert edb.libedb() is edb.libedb()
+
+    def test_untrace(self, sim):
+        power = make_wisp_power_system(sim)
+        device = TargetDevice(sim, power)
+        edb = EDB(sim, device)
+        edb.trace("energy")
+        edb.untrace("energy")
+        assert "energy" not in edb.monitor.enabled
+
+    def test_worst_case_interference_scale(self, sim):
+        power = make_wisp_power_system(sim)
+        device = TargetDevice(sim, power)
+        edb = EDB(sim, device)
+        assert edb.worst_case_interference(trials=10) < 2 * units.UA
+
+    def test_is_tethered_reflects_power(self, wisp_with_edb):
+        device, edb = wisp_with_edb
+        assert not edb.is_tethered
+        edb.board.energy.keep_alive()
+        assert edb.is_tethered
+        edb.release()
+        assert not edb.is_tethered
+
+
+class TestSessionTranscript:
+    def test_transcript_records_actions(self, wisp_with_edb):
+        from repro.core.board import BreakEvent
+        from repro.core.session import InteractiveSession
+        from repro.mcu.memory import FRAM_BASE
+
+        device, edb = wisp_with_edb
+        edb.libedb()
+        edb.board.energy.begin_task()
+        event = BreakEvent(reason="console", time=0.0, vcap=device.power.vcap)
+        session = InteractiveSession(edb.board, event)
+        session.write_u16(FRAM_BASE, 0xABCD)
+        session.read_u16(FRAM_BASE)
+        session.vcap()
+        edb.board.energy.end_task()
+        text = session.render()
+        assert "session opened: console" in text
+        assert "0xABCD" in text
+        assert "vcap ->" in text
+
+    def test_session_registers_view(self, wisp_with_edb):
+        from repro.core.board import BreakEvent
+        from repro.core.session import InteractiveSession
+
+        device, edb = wisp_with_edb
+        device.cpu.reset(0xA000)
+        device.cpu.registers[4] = 0x55
+        event = BreakEvent(reason="console", time=0.0, vcap=2.4)
+        session = InteractiveSession(edb.board, event)
+        assert session.registers()[4] == 0x55

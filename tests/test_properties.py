@@ -1,0 +1,217 @@
+"""Property-based tests of the system's core invariants.
+
+These are the "for any schedule" guarantees the design rests on:
+
+- control loops converge with bounded error for any setpoint;
+- the repair-on-boot list is consistent after a brown-out at *any*
+  operation of *any* workload (exhaustive-ish via hypothesis);
+- the task runtime conserves its invariants across failures injected
+  at arbitrary points;
+- the protocol decoder survives arbitrary corruption;
+- intermittent progress counters never move backwards.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Simulator, TargetDevice, make_wisp_power_system
+from repro.analog.charge_circuit import ChargeDischargeCircuit
+from repro.core.protocol import Decoder, Message, encode
+from repro.mcu.adc import Adc
+from repro.mcu.device import PowerFailure
+from repro.mcu.hlapi import DeviceAPI
+from repro.runtime.nonvolatile import SafeNVLinkedList
+from repro.runtime.tasks import Task, TaskRuntime
+from repro.sim import units
+from repro.testing import BrownoutInjector
+
+
+def _charged_device(seed=1, voltage=2.2):
+    sim = Simulator(seed=seed)
+    power = make_wisp_power_system(sim, initial_voltage=voltage)
+    power.source.enabled = False
+    device = TargetDevice(sim, power)
+    power.capacitor.voltage = voltage
+    power.reset_comparator()
+    return sim, device
+
+
+class TestControlLoopConvergence:
+    @given(
+        start=st.floats(1.9, 3.1),
+        target=st.floats(1.9, 3.1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_restore_converges_from_anywhere(self, start, target):
+        sim = Simulator(seed=5)
+        power = make_wisp_power_system(sim, initial_voltage=start)
+        power.source.enabled = False
+        power.capacitor.voltage = start
+        adc = Adc(rng=sim.rng, noise_sigma_v=0.5 * units.MV, stream="edb-adc")
+        circuit = ChargeDischargeCircuit(sim, power, adc)
+        circuit.restore_to(target)
+        # Bounded error: a few mV low (discharge trim) up to the filter
+        # dump high (charge trim), never runaway.
+        assert target - 0.02 <= power.vcap <= target + 0.15
+
+    @given(target=st.floats(1.9, 3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_discharge_never_overshoots_down(self, target):
+        sim = Simulator(seed=5)
+        power = make_wisp_power_system(sim, initial_voltage=3.2)
+        power.source.enabled = False
+        power.capacitor.voltage = 3.2
+        adc = Adc(rng=sim.rng, noise_sigma_v=0.5 * units.MV, stream="edb-adc")
+        circuit = ChargeDischargeCircuit(sim, power, adc)
+        circuit.discharge_to(target)
+        assert target - 0.02 <= power.vcap <= target + 0.005
+
+
+class TestSafeListCrashConsistency:
+    @given(
+        ops=st.lists(st.sampled_from(["append", "remove"]), min_size=1, max_size=8),
+        fail_at=st.integers(1, 120),
+    )
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_repair_heals_any_interruption_point(self, ops, fail_at):
+        """Run a random workload, kill it at a random op, repair, check."""
+        sim, device = _charged_device(voltage=2.4)
+        api = DeviceAPI(device)
+        nv_list = SafeNVLinkedList(api, "p", capacity=8)
+        nv_list.init()
+        injector = BrownoutInjector(device)
+        injector.arm(fail_at)
+        free = list(range(8))
+        live: list[int] = []
+        try:
+            for op in ops:
+                if op == "append" and free:
+                    index = free.pop()
+                    nv_list.append(nv_list.node_address(index))
+                    live.append(index)
+                elif op == "remove" and live:
+                    index = live.pop(0)
+                    nv_list.remove(nv_list.node_address(index))
+                    free.append(index)
+        except PowerFailure:
+            pass
+        # Reboot: volatile gone, FRAM (the list) retained.  The pending
+        # injection (if it never fired) dies with the power failure.
+        injector.disarm()
+        device.power.capacitor.voltage = 2.4
+        device.power.reset_comparator()
+        device.reboot()
+        nv_list.repair()
+        assert nv_list.check_consistency()
+        # The healed chain's membership is a subset of the nodes ever
+        # linked, with no duplicates.
+        chain = nv_list.walk()
+        assert len(chain) == len(set(chain))
+
+
+class TestTaskInvariantConservation:
+    @given(fail_points=st.lists(st.integers(2, 90), min_size=1, max_size=6))
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_transfer_conserves_total(self, fail_points):
+        sim, device = _charged_device(voltage=2.4)
+        api = DeviceAPI(device)
+
+        def debit(api_, rt):
+            rt.set("a", (rt.get("a") - 1) & 0xFFFF)
+            rt.set("b", (rt.get("b") + 1) & 0xFFFF)
+
+        runtime = TaskRuntime(api, [Task("debit", debit)], ["a", "b"], name="h")
+        runtime.flash_init({"a": 500, "b": 0})
+        injector = BrownoutInjector(device)
+        for point in fail_points:
+            injector.arm(point)
+            try:
+                runtime.recover()
+                runtime.run_one_task()
+            except PowerFailure:
+                pass
+            device.power.capacitor.voltage = 2.4
+            device.power.reset_comparator()
+            injector.disarm()
+        runtime.recover()
+        total = runtime.read_committed("a") + runtime.read_committed("b")
+        assert total == 500
+
+
+class TestDecoderRobustness:
+    @given(
+        texts=st.lists(st.text(max_size=20), min_size=1, max_size=5),
+        flips=st.lists(
+            st.tuples(st.integers(0, 10_000), st.integers(0, 7)), max_size=6
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_never_raises_on_corruption(self, texts, flips):
+        stream = bytearray(
+            b"".join(encode(Message.printf(t)) for t in texts)
+        )
+        for position, bit in flips:
+            if stream:
+                stream[position % len(stream)] ^= 1 << bit
+        decoder = Decoder()
+        messages = decoder.feed(bytes(stream))  # must not raise
+        assert len(messages) <= len(texts) + len(flips)
+
+    @given(garbage=st.binary(max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_pure_garbage_yields_no_phantom_floods(self, garbage):
+        decoder = Decoder()
+        messages = decoder.feed(garbage)
+        # Checksummed framing keeps accidental decodes very rare.
+        assert len(messages) <= max(1, len(garbage) // 8)
+
+
+class TestProgressMonotonicity:
+    @given(durations=st.lists(st.floats(0.01, 0.3), min_size=2, max_size=5))
+    @settings(max_examples=15, deadline=None)
+    def test_nv_counter_never_decreases(self, durations):
+        from repro import IntermittentExecutor
+        from repro.runtime.nonvolatile import NVCounter
+        from repro.testing import make_fast_target
+
+        class App:
+            name = "mono"
+
+            def flash(self, api):
+                api.device.memory.write_u16(api.nv_var("counter.n"), 0)
+
+            def main(self, api):
+                counter = NVCounter(api, "n")
+                while True:
+                    counter.increment()
+                    api.compute(300)
+
+        sim = Simulator(seed=3)
+        device = make_fast_target(sim)
+        executor = IntermittentExecutor(sim, device, App())
+        last = 0
+        for duration in durations:
+            executor.run(duration=duration)
+            value = device.memory.read_u16(executor.api.nv_var("counter.n"))
+            assert value >= last
+            last = value
+
+
+class TestAdcAccuracy:
+    @given(voltage=st.floats(0.0, 3.3))
+    @settings(max_examples=100)
+    def test_measurement_error_bounded(self, voltage):
+        sim = Simulator(seed=8)
+        adc = Adc(rng=sim.rng, noise_sigma_v=0.5e-3, stream="x")
+        measured = adc.measure(voltage)
+        # Quantisation (half an LSB) + 5 sigma of noise.
+        assert abs(measured - voltage) < adc.lsb_volts / 2 + 5 * 0.5e-3

@@ -1,0 +1,166 @@
+"""Unit + property tests for the RFID link: protocol, channel, reader."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.io.rfid.channel import RfidChannel
+from repro.io.rfid.protocol import (
+    CommandKind,
+    ReaderCommand,
+    ReplyKind,
+    RfidDecodeError,
+    TagReply,
+)
+from repro.io.rfid.reader import RFIDReader
+from repro.sim.kernel import Simulator
+
+
+class TestProtocol:
+    def test_query_roundtrip(self):
+        cmd = ReaderCommand(CommandKind.QUERY, q=5)
+        decoded = ReaderCommand.decode_bits(cmd.encode_bits())
+        assert decoded == cmd
+
+    def test_queryrep_roundtrip(self):
+        cmd = ReaderCommand(CommandKind.QUERYREP)
+        assert ReaderCommand.decode_bits(cmd.encode_bits()) == cmd
+
+    def test_ack_roundtrip(self):
+        cmd = ReaderCommand(CommandKind.ACK, rn16=0xABCD)
+        assert ReaderCommand.decode_bits(cmd.encode_bits()) == cmd
+
+    def test_truncated_query_rejected(self):
+        bits = ReaderCommand(CommandKind.QUERY, q=1).encode_bits()[:-2]
+        with pytest.raises(RfidDecodeError):
+            ReaderCommand.decode_bits(bits)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(RfidDecodeError):
+            ReaderCommand.decode_bits([1, 1, 1, 1, 1, 1, 1, 1])
+
+    def test_reply_bit_length(self):
+        reply = TagReply(ReplyKind.EPC, payload=(1, 2))
+        assert reply.bit_length() == 6 + 32
+
+    @given(
+        kind=st.sampled_from(list(CommandKind)),
+        q=st.integers(0, 15),
+        rn16=st.integers(0, 0xFFFF),
+    )
+    def test_roundtrip_property(self, kind, q, rn16):
+        cmd = ReaderCommand(kind, q=q if kind is CommandKind.QUERY else 0,
+                            rn16=rn16 if kind is CommandKind.ACK else 0)
+        assert ReaderCommand.decode_bits(cmd.encode_bits()) == cmd
+
+
+class TestChannel:
+    def _channel(self, **kwargs):
+        sim = Simulator(seed=5)
+        return sim, RfidChannel(sim, **kwargs)
+
+    def test_delivery_queues_at_tag(self):
+        _, channel = self._channel(downlink_corruption_at_1m=0.0)
+        channel.deliver_command(ReaderCommand(CommandKind.QUERY, q=0))
+        assert channel.tag_rx_pending == 1
+        delivered = channel.pop_tag_command()
+        assert not delivered.corrupted
+        assert ReaderCommand.decode_bits(delivered.bits).kind is CommandKind.QUERY
+
+    def test_corrupted_delivery_flips_a_bit(self):
+        _, channel = self._channel(downlink_corruption_at_1m=1.0)
+        original = ReaderCommand(CommandKind.QUERY, q=0)
+        channel.deliver_command(original)
+        delivered = channel.pop_tag_command()
+        assert delivered.corrupted
+        assert delivered.bits != original.encode_bits()
+
+    def test_external_taps_see_both_directions(self):
+        _, channel = self._channel(downlink_corruption_at_1m=0.0)
+        seen = []
+        channel.command_taps.append(lambda d: seen.append("cmd"))
+        channel.reply_taps.append(lambda r: seen.append("reply"))
+        channel.deliver_command(ReaderCommand(CommandKind.QUERYREP))
+        channel.send_reply(TagReply(ReplyKind.GENERIC))
+        assert seen == ["cmd", "reply"]
+
+    def test_tap_sees_replies_even_when_reader_misses(self):
+        """EDB sits next to the tag: it hears what the reader loses."""
+        _, channel = self._channel(uplink_loss_at_1m=1.0)
+        taps = []
+        channel.reply_taps.append(taps.append)
+        received = channel.send_reply(TagReply(ReplyKind.GENERIC))
+        assert not received
+        assert len(taps) == 1
+
+    def test_loss_scales_with_distance(self):
+        _, near = self._channel(uplink_loss_at_1m=0.1)
+        near.distance_m = 1.0
+        assert near._scaled(0.1) == pytest.approx(0.1)
+        near.distance_m = 2.0
+        assert near._scaled(0.1) == pytest.approx(0.4)
+
+    def test_clear_tag_queue(self):
+        _, channel = self._channel()
+        channel.deliver_command(ReaderCommand(CommandKind.QUERYREP))
+        channel.clear_tag_queue()
+        assert channel.tag_rx_pending == 0
+
+    def test_rx_line_pulses_per_delivery(self):
+        _, channel = self._channel()
+        channel.deliver_command(ReaderCommand(CommandKind.QUERYREP))
+        assert channel.rx_line.transitions == 2
+
+
+class TestReader:
+    def test_inventory_sends_queries_periodically(self):
+        sim = Simulator(seed=5)
+        channel = RfidChannel(sim)
+        reader = RFIDReader(sim, channel, query_period=0.05)
+        reader.start()
+        sim.advance(0.5)
+        assert reader.stats.queries_sent == pytest.approx(11, abs=1)
+
+    def test_query_queryrep_cadence(self):
+        sim = Simulator(seed=5)
+        channel = RfidChannel(sim, downlink_corruption_at_1m=0.0)
+        reader = RFIDReader(sim, channel, query_period=0.05, queryreps_per_query=3)
+        reader.start()
+        sim.advance(0.41)
+        kinds = []
+        while channel.tag_rx_pending:
+            kinds.append(
+                ReaderCommand.decode_bits(channel.pop_tag_command().bits).kind
+            )
+        assert kinds[0] is CommandKind.QUERY
+        assert kinds[1] is CommandKind.QUERYREP
+
+    def test_response_rate_counts_replies(self):
+        sim = Simulator(seed=5)
+        channel = RfidChannel(sim, uplink_loss_at_1m=0.0)
+        reader = RFIDReader(sim, channel, query_period=0.05)
+        reader.start()
+        sim.advance(0.26)
+        # Tag answers every query it sees.
+        while channel.tag_rx_pending:
+            channel.pop_tag_command()
+            channel.send_reply(TagReply(ReplyKind.GENERIC))
+        # Replies arrive after the last query, so the rate is bounded.
+        assert 0.0 < reader.stats.response_rate <= 1.0
+
+    def test_stop_halts_inventory(self):
+        sim = Simulator(seed=5)
+        channel = RfidChannel(sim)
+        reader = RFIDReader(sim, channel, query_period=0.05)
+        reader.start()
+        sim.advance(0.2)
+        sent = reader.stats.queries_sent
+        reader.stop()
+        sim.advance(0.5)
+        assert reader.stats.queries_sent == sent
+
+    def test_replies_per_second(self):
+        sim = Simulator(seed=5)
+        reader = RFIDReader(sim, RfidChannel(sim))
+        reader.stats.replies_heard = 26
+        assert reader.replies_per_second(2.0) == pytest.approx(13.0)

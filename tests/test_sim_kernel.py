@@ -1,0 +1,255 @@
+"""Unit tests for the simulation kernel: clock, events, traces, RNG."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngHub
+from repro.sim.trace import TraceRecorder
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_advance_moves_time(self):
+        sim = Simulator()
+        sim.advance(0.5)
+        assert sim.now == pytest.approx(0.5)
+
+    def test_advance_accumulates(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.advance(0.1)
+        assert sim.now == pytest.approx(1.0)
+
+    def test_negative_advance_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.advance(-0.1)
+
+    def test_run_until_absolute(self):
+        sim = Simulator()
+        sim.run_until(2.0)
+        assert sim.now == pytest.approx(2.0)
+
+    def test_run_until_past_time_is_noop(self):
+        sim = Simulator()
+        sim.advance(1.0)
+        sim.run_until(0.5)
+        assert sim.now == pytest.approx(1.0)
+
+
+class TestEvents:
+    def test_call_at_fires_during_sweep(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(0.5, lambda: fired.append(sim.now))
+        sim.advance(1.0)
+        assert fired == [pytest.approx(0.5)]
+
+    def test_event_does_not_fire_early(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(0.5, lambda: fired.append(True))
+        sim.advance(0.4)
+        assert fired == []
+
+    def test_call_after_relative(self):
+        sim = Simulator()
+        sim.advance(1.0)
+        fired = []
+        sim.call_after(0.25, lambda: fired.append(sim.now))
+        sim.advance(0.5)
+        assert fired == [pytest.approx(1.25)]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.advance(1.0)
+        with pytest.raises(ValueError):
+            sim.call_at(0.5, lambda: None)
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_at(0.3, lambda: order.append("b"))
+        sim.call_at(0.1, lambda: order.append("a"))
+        sim.call_at(0.7, lambda: order.append("c"))
+        sim.advance(1.0)
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_at(0.5, lambda: order.append(1))
+        sim.call_at(0.5, lambda: order.append(2))
+        sim.advance(1.0)
+        assert order == [1, 2]
+
+    def test_periodic_event_recurs(self):
+        sim = Simulator()
+        hits = []
+        sim.call_every(0.1, lambda: hits.append(round(sim.now, 6)))
+        sim.advance(0.55)
+        assert len(hits) == 5
+
+    def test_periodic_with_explicit_start(self):
+        sim = Simulator()
+        hits = []
+        sim.call_every(0.1, lambda: hits.append(sim.now), start=0.0)
+        sim.advance(0.35)
+        assert len(hits) == 4  # 0.0, 0.1, 0.2, 0.3
+
+    def test_cancel_stops_event(self):
+        sim = Simulator()
+        hits = []
+        event = sim.call_every(0.1, lambda: hits.append(True))
+        sim.advance(0.25)
+        event.cancel()
+        sim.advance(1.0)
+        assert len(hits) == 2
+
+    def test_zero_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.call_every(0.0, lambda: None)
+
+    def test_event_scheduled_during_sweep_fires_if_due(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(0.2, lambda: sim.call_at(0.3, lambda: fired.append(True)))
+        sim.advance(1.0)
+        assert fired == [True]
+
+    def test_pending_events_counts_live_only(self):
+        sim = Simulator()
+        event = sim.call_at(1.0, lambda: None)
+        sim.call_at(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events() == 1
+
+    def test_clock_matches_event_time_inside_callback(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(0.42, lambda: seen.append(sim.now))
+        sim.advance(1.0)
+        assert seen == [pytest.approx(0.42)]
+
+
+class TestTraceRecorder:
+    def _recorder(self):
+        clock = [0.0]
+        rec = TraceRecorder(clock=lambda: clock[0])
+        return rec, clock
+
+    def test_record_and_read_back(self):
+        rec, clock = self._recorder()
+        rec.record("chan", 1)
+        clock[0] = 1.0
+        rec.record("chan", 2)
+        assert rec.values("chan") == [1, 2]
+
+    def test_series_returns_parallel_lists(self):
+        rec, clock = self._recorder()
+        rec.record("v", 2.4)
+        clock[0] = 0.5
+        rec.record("v", 1.8)
+        times, values = rec.series("v")
+        assert times == [0.0, 0.5]
+        assert values == [2.4, 1.8]
+
+    def test_channels_sorted(self):
+        rec, _ = self._recorder()
+        rec.record("b", 1)
+        rec.record("a", 1)
+        assert rec.channels() == ["a", "b"]
+
+    def test_window_half_open(self):
+        rec, clock = self._recorder()
+        for t in (0.0, 0.5, 1.0):
+            clock[0] = t
+            rec.record("x", t)
+        window = rec.window("x", 0.0, 1.0)
+        assert [e.value for e in window] == [0.0, 0.5]
+
+    def test_subscribe_sees_events(self):
+        rec, _ = self._recorder()
+        seen = []
+        rec.subscribe("x", lambda e: seen.append(e.value))
+        rec.record("x", 42)
+        assert seen == [42]
+
+    def test_unsubscribe(self):
+        rec, _ = self._recorder()
+        seen = []
+        listener = lambda e: seen.append(e.value)  # noqa: E731
+        rec.subscribe("x", listener)
+        rec.unsubscribe("x", listener)
+        rec.record("x", 1)
+        assert seen == []
+
+    def test_merged_is_time_ordered(self):
+        rec, clock = self._recorder()
+        clock[0] = 1.0
+        rec.record("a", "late")
+        clock[0] = 0.5
+        rec.record("b", "early")
+        merged = list(rec.merged())
+        assert [e.value for e in merged] == ["early", "late"]
+
+    def test_disabled_recorder_still_notifies_listeners(self):
+        rec, _ = self._recorder()
+        rec.enabled = False
+        seen = []
+        rec.subscribe("x", lambda e: seen.append(e.value))
+        rec.record("x", 7)
+        assert seen == [7]
+        assert rec.count("x") == 0
+
+    def test_last_and_count(self):
+        rec, _ = self._recorder()
+        assert rec.last("x") is None
+        rec.record("x", 1)
+        rec.record("x", 2)
+        assert rec.last("x").value == 2
+        assert rec.count("x") == 2
+
+    def test_clear_single_channel(self):
+        rec, _ = self._recorder()
+        rec.record("a", 1)
+        rec.record("b", 1)
+        rec.clear("a")
+        assert rec.count("a") == 0
+        assert rec.count("b") == 1
+
+
+class TestRngHub:
+    def test_same_seed_same_draws(self):
+        a = RngHub(7).stream("x")
+        b = RngHub(7).stream("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_are_independent(self):
+        hub = RngHub(7)
+        xs = [hub.stream("x").random() for _ in range(3)]
+        hub2 = RngHub(7)
+        _ = [hub2.stream("y").random() for _ in range(100)]
+        xs2 = [hub2.stream("x").random() for _ in range(3)]
+        assert xs == xs2
+
+    def test_different_seeds_differ(self):
+        assert RngHub(1).stream("x").random() != RngHub(2).stream("x").random()
+
+    def test_chance_bounds(self):
+        hub = RngHub(3)
+        assert not any(hub.chance("c", 0.0) for _ in range(50))
+        assert all(hub.chance("c", 1.0) for _ in range(50))
+
+    def test_chance_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            RngHub(0).chance("c", 1.5)
+
+    def test_uniform_within_range(self):
+        hub = RngHub(5)
+        for _ in range(100):
+            value = hub.uniform("u", -1.0, 2.0)
+            assert -1.0 <= value <= 2.0

@@ -1,0 +1,107 @@
+"""Tests for the §4.1.2 Vreg-tracking level-shifter bank."""
+
+import pytest
+
+from repro import Simulator, make_wisp_power_system
+from repro.analog.tracking import LevelShifterBank
+from repro.sim import units
+from repro.sim.rng import RngHub
+
+
+def _power(sim, voltage):
+    power = make_wisp_power_system(sim, initial_voltage=voltage)
+    power.source.enabled = False
+    power.capacitor.voltage = voltage
+    return power
+
+
+class TestTrackedBank:
+    def test_reference_follows_vreg_in_regulation(self, sim):
+        power = _power(sim, 2.4)
+        bank = LevelShifterBank(sim.rng, power, tracked=True)
+        assert bank.reference_voltage() == pytest.approx(2.0, abs=0.01)
+
+    def test_reference_follows_vreg_in_dropout(self, sim):
+        """The §4.1.2 case: Vreg sags during a power failure."""
+        power = _power(sim, 1.9)  # dropout: Vreg = 1.8
+        bank = LevelShifterBank(sim.rng, power, tracked=True)
+        assert bank.reference_voltage() == pytest.approx(1.8, abs=0.01)
+
+    def test_mismatch_stays_within_window_everywhere(self, sim):
+        power = _power(sim, 2.4)
+        bank = LevelShifterBank(sim.rng, power, tracked=True)
+        bank.drive("debugger_to_target_comm", True)
+        for voltage in (2.4, 2.2, 2.0, 1.9, 1.85):
+            power.capacitor.voltage = voltage
+            assert abs(bank.mismatch("debugger_to_target_comm")) <= 0.3
+
+    def test_no_protection_current_during_sag(self, sim):
+        power = _power(sim, 2.4)
+        bank = LevelShifterBank(sim.rng, power, tracked=True)
+        bank.drive("debugger_to_target_comm", True)
+        power.capacitor.voltage = 1.85  # deep in dropout
+        assert bank.protection_current() == 0.0
+
+
+class TestNaiveBank:
+    def test_fine_while_target_in_regulation(self, sim):
+        power = _power(sim, 2.4)
+        bank = LevelShifterBank(sim.rng, power, tracked=False)
+        bank.drive("debugger_to_target_comm", True)
+        assert bank.protection_current() == 0.0
+
+    def test_injects_microamps_when_rail_sags(self, sim):
+        """The failure EDB's tracking circuit exists to prevent."""
+        power = _power(sim, 2.4)
+        bank = LevelShifterBank(sim.rng, power, tracked=False)
+        bank.drive("debugger_to_target_comm", True)
+        power.capacitor.voltage = 1.6  # target browning out; Vreg ~1.5
+        current = bank.protection_current()
+        assert current > 100 * units.UA  # catastrophic vs nanoamp budget
+
+    def test_low_lines_are_harmless(self, sim):
+        power = _power(sim, 2.4)
+        bank = LevelShifterBank(sim.rng, power, tracked=False)
+        power.capacitor.voltage = 1.6
+        assert bank.protection_current() == 0.0  # nothing driven high
+
+    def test_apply_interference_feeds_the_supply(self, sim):
+        power = _power(sim, 2.4)
+        bank = LevelShifterBank(sim.rng, power, tracked=False)
+        bank.drive("debugger_to_target_comm", True)
+        power.capacitor.voltage = 1.6
+        injected = bank.apply_interference()
+        assert injected > 0.0
+        assert power.injected_current == pytest.approx(injected)
+
+    def test_interference_perturbs_the_energy_state(self, sim):
+        """End-to-end: the naive bank visibly charges a dying target."""
+        power = _power(sim, 1.6)
+        bank = LevelShifterBank(sim.rng, power, tracked=False)
+        bank.drive("debugger_to_target_comm", True)
+        bank.apply_interference()
+        v0 = power.vcap
+        sim.advance(0.05)
+        power.idle_step(0.05)
+        assert power.vcap > v0 + 0.01  # the diodes are charging the cap
+
+
+class TestBankApi:
+    def test_unknown_line_rejected(self, sim):
+        power = _power(sim, 2.4)
+        bank = LevelShifterBank(sim.rng, power)
+        with pytest.raises(KeyError):
+            bank.drive("nonexistent", True)
+
+    def test_multiple_lines_sum(self, sim):
+        power = _power(sim, 2.4)
+        bank = LevelShifterBank(
+            sim.rng, power, lines=["a", "b"], tracked=False
+        )
+        bank.drive("a", True)
+        bank.drive("b", True)
+        power.capacitor.voltage = 1.6
+        two = bank.protection_current()
+        bank.drive("b", False)
+        one = bank.protection_current()
+        assert two == pytest.approx(2 * one, rel=0.01)

@@ -1,0 +1,252 @@
+"""Tests for the tooling extensions: VCD export, profiler, Ekho recorder."""
+
+import pytest
+
+from repro import PowerFailure, Simulator, TargetDevice, make_wisp_power_system
+from repro.core.monitor import PassiveMonitor
+from repro.core.profiler import EnergyProfiler
+from repro.instruments import Oscilloscope
+from repro.power.ekho import HarvestRecorder, record_environment
+from repro.power.harvester import RFHarvester, TraceDrivenSource
+from repro.sim import units
+from repro.sim.vcd import scope_to_vcd, trace_to_vcd
+
+
+class TestVcdExport:
+    def _scope_capture(self):
+        sim = Simulator(seed=3)
+        scope = Oscilloscope(sim, sample_rate=1 * units.KHZ)
+        analog = {"v": 2.4}
+        digital = {"on": False}
+        scope.add_channel("vcap", lambda: analog["v"])
+        scope.add_digital_channel("gpio", lambda: digital["on"])
+        scope.start()
+        sim.advance(0.002)
+        analog["v"] = 2.0
+        digital["on"] = True
+        sim.advance(0.002)
+        return scope
+
+    def test_header_and_definitions(self):
+        text = scope_to_vcd(self._scope_capture())
+        assert "$timescale 1us $end" in text
+        assert "$enddefinitions $end" in text
+        assert "$var real 64" in text  # vcap
+        assert "$var wire 1" in text  # gpio
+
+    def test_value_changes_present(self):
+        text = scope_to_vcd(self._scope_capture())
+        assert "r2.4 " in text
+        assert "r2 " in text or "r2.0" in text or "r2 " in text
+
+    def test_change_compression(self):
+        """Repeated identical samples emit one change, not many."""
+        text = scope_to_vcd(self._scope_capture())
+        # vcap held 2.4 for two samples but appears once.
+        assert text.count("r2.4 ") == 1
+
+    def test_timestamps_monotonic(self):
+        text = scope_to_vcd(self._scope_capture())
+        ticks = [
+            int(line[1:]) for line in text.splitlines() if line.startswith("#")
+        ]
+        assert ticks == sorted(ticks)
+
+    def test_trace_recorder_export(self):
+        sim = Simulator(seed=3)
+        sim.trace.record("power.vcap", 2.4)
+        sim.advance(0.001)
+        sim.trace.record("power.vcap", 2.3)
+        sim.trace.record("flag", True)
+        sim.trace.record("skipme", {"complex": "payload"})
+        text = trace_to_vcd(sim.trace, ["power.vcap", "flag", "skipme"])
+        assert "power_vcap" in text
+        assert "flag" in text
+        assert "skipme" not in text  # non-numeric payloads skipped
+
+    def test_end_to_end_real_discharge(self, sim):
+        power = make_wisp_power_system(sim, distance_m=1.6)
+        device = TargetDevice(sim, power)
+        scope = Oscilloscope(sim, sample_rate=2 * units.KHZ)
+        scope.add_channel("vcap", lambda: power.vcap)
+        scope.start()
+        power.charge_until_on()
+        with pytest.raises(PowerFailure):
+            while True:
+                device.execute_cycles(1000)
+        text = scope_to_vcd(scope)
+        assert text.count("\n") > 50  # a real waveform came out
+
+
+class TestEnergyProfiler:
+    def _profiled_monitor(self):
+        sim = Simulator(seed=4)
+        vcap = {"v": 2.4}
+        monitor = PassiveMonitor(
+            sim, read_vcap=lambda: vcap["v"], read_vreg=lambda: 2.0
+        )
+        capacitance = 47 * units.UF
+        # Synthesise 20 iterations: wp1 at start, wp2 at end, each
+        # costing 10 mV, with a "reboot" (recharge) every 7th.
+        for i in range(20):
+            monitor.on_watchpoint(1)
+            sim.advance(1e-3)
+            vcap["v"] -= 0.01
+            monitor.on_watchpoint(2)
+            sim.advance(0.2e-3)
+            if i % 7 == 6:
+                vcap["v"] = 2.4
+        return monitor, capacitance
+
+    def test_region_stats(self):
+        monitor, capacitance = self._profiled_monitor()
+        profiler = EnergyProfiler(monitor, capacitance, full_energy=135e-6)
+        profiler.define_region("iteration", 1, 2)
+        stats = profiler.stats("iteration")
+        assert stats.count >= 15
+        assert stats.energy_median_j > 0
+        assert stats.time_median_s == pytest.approx(1e-3, rel=0.01)
+        assert 0 < stats.energy_percent(135e-6) < 5
+
+    def test_cdf_monotonic(self):
+        monitor, capacitance = self._profiled_monitor()
+        profiler = EnergyProfiler(monitor, capacitance)
+        profiler.define_region("iteration", 1, 2)
+        cdf = profiler.cdf("iteration")
+        probabilities = [p for _, p in cdf]
+        assert probabilities == sorted(probabilities)
+        assert probabilities[-1] == 1.0
+
+    def test_histogram_renders(self):
+        monitor, capacitance = self._profiled_monitor()
+        profiler = EnergyProfiler(monitor, capacitance)
+        profiler.define_region("iteration", 1, 2)
+        art = profiler.histogram("iteration", bins=5)
+        assert "uJ |" in art
+
+    def test_report_covers_all_regions(self):
+        monitor, capacitance = self._profiled_monitor()
+        profiler = EnergyProfiler(monitor, capacitance, full_energy=135e-6)
+        profiler.define_region("iteration", 1, 2)
+        profiler.define_region("ghost", 8, 9)
+        text = profiler.report()
+        assert "iteration:" in text
+        assert "ghost: (no complete occurrences)" in text
+
+    def test_duplicate_region_rejected(self):
+        monitor, capacitance = self._profiled_monitor()
+        profiler = EnergyProfiler(monitor, capacitance)
+        profiler.define_region("x", 1, 2)
+        with pytest.raises(ValueError):
+            profiler.define_region("x", 1, 2)
+
+    def test_unknown_region_rejected(self):
+        monitor, capacitance = self._profiled_monitor()
+        profiler = EnergyProfiler(monitor, capacitance)
+        with pytest.raises(KeyError):
+            profiler.stats("nope")
+
+    def test_whole_iteration_mode(self):
+        monitor, capacitance = self._profiled_monitor()
+        profiler = EnergyProfiler(monitor, capacitance)
+        profiler.define_region("full", 1, 1)
+        assert len(profiler.energy_samples("full")) > 10
+
+    def test_profiles_a_real_application(self, sim):
+        from repro import EDB, IntermittentExecutor
+        from repro.apps import ActivityRecognitionApp
+        from repro.apps.sensors import Accelerometer, I2C_ADDRESS, MotionProfile
+        from repro.testing import make_fast_target
+
+        device = make_fast_target(sim)
+        device.i2c.attach(I2C_ADDRESS, Accelerometer(sim, MotionProfile()))
+        edb = EDB(sim, device)
+        edb.trace("watchpoints")
+        app = ActivityRecognitionApp(output="none", max_iterations=40)
+        executor = IntermittentExecutor(sim, device, app, edb=edb.libedb())
+        executor.run(duration=10.0)
+        profiler = EnergyProfiler(
+            edb.monitor,
+            device.constants.capacitance,
+            full_energy=device.constants.full_energy,
+        )
+        profiler.define_region("iteration", 1, 1)
+        stats = profiler.stats("iteration")
+        assert stats.count > 10
+        assert "iteration" in stats.render(device.constants.full_energy)
+
+
+class TestEkhoRecorder:
+    def test_records_at_sample_rate(self):
+        sim = Simulator(seed=6)
+        recorder = record_environment(
+            sim, RFHarvester(), duration=0.5, sample_rate=100.0
+        )
+        assert 50 <= recorder.sample_count <= 52
+
+    def test_replay_matches_recording(self):
+        sim = Simulator(seed=6)
+        harvester = RFHarvester(distance_m=1.3)
+        recorder = record_environment(sim, harvester, duration=0.2)
+        replay = recorder.to_source()
+        assert replay.open_circuit_voltage(0.05) == pytest.approx(
+            harvester.open_circuit_voltage(0.05)
+        )
+        assert replay.source_resistance(0.05) == pytest.approx(
+            harvester.source_resistance(0.05)
+        )
+
+    def test_captures_environment_changes(self):
+        sim = Simulator(seed=6)
+        harvester = RFHarvester(distance_m=1.0)
+        recorder = HarvestRecorder(sim, harvester, sample_rate=100.0)
+        recorder.start()
+        sim.advance(0.1)
+        harvester.distance_m = 2.0  # tag moved away mid-recording
+        sim.advance(0.1)
+        recorder.stop()
+        replay = recorder.to_source()
+        assert replay.source_resistance(0.19) > 2 * replay.source_resistance(0.01)
+
+    def test_csv_roundtrip(self):
+        sim = Simulator(seed=6)
+        recorder = record_environment(sim, RFHarvester(), duration=0.1)
+        text = recorder.to_csv()
+        replay = HarvestRecorder.from_csv(text)
+        original = recorder.to_source()
+        assert replay.open_circuit_voltage(0.05) == pytest.approx(
+            original.open_circuit_voltage(0.05)
+        )
+
+    def test_csv_header_validated(self):
+        with pytest.raises(ValueError):
+            HarvestRecorder.from_csv("wrong,header,row\n1,2,3\n")
+
+    def test_empty_recording_rejected(self):
+        sim = Simulator(seed=6)
+        recorder = HarvestRecorder(sim, RFHarvester())
+        with pytest.raises(ValueError):
+            recorder.to_source()
+
+    def test_replayed_trace_drives_a_device(self):
+        """Record one environment, replay it into a fresh simulation,
+        and observe comparable charge timing — Ekho's repeatability."""
+        sim_record = Simulator(seed=6)
+        recorder = record_environment(
+            sim_record, RFHarvester(distance_m=1.6), duration=1.0
+        )
+        replay = recorder.to_source()
+
+        def charge_time(source):
+            from repro.power.capacitor import StorageCapacitor
+            from repro.power.supply import PowerSystem
+
+            sim = Simulator(seed=1)
+            power = PowerSystem(
+                sim, source, StorageCapacitor(47 * units.UF, voltage=1.8)
+            )
+            return power.charge_until_on()
+
+        live = charge_time(RFHarvester(distance_m=1.6))
+        replayed = charge_time(replay)
+        assert replayed == pytest.approx(live, rel=0.05)
