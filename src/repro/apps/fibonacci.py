@@ -18,7 +18,7 @@ main loop keeps executing indefinitely.
 from __future__ import annotations
 
 from repro.mcu.hlapi import DeviceAPI, ProgramComplete
-from repro.runtime.nonvolatile import NVLinkedList
+from repro.runtime.nonvolatile import NVLinkedList, SafeNVLinkedList
 
 
 class FibonacciApp:
@@ -44,6 +44,9 @@ class FibonacciApp:
     target_length:
         Raise :class:`ProgramComplete` when the list reaches this
         length (``None`` = run forever).
+    use_safe_list:
+        Use the intermittence-safe list with reboot repair (the
+        protected baseline for differential campaigns).
     """
 
     name = "fibonacci-list"
@@ -56,6 +59,7 @@ class FibonacciApp:
         check_node_cycles: int = 315,
         iteration_cycles: int = 2000,
         target_length: int | None = None,
+        use_safe_list: bool = False,
     ) -> None:
         self.debug_build = debug_build
         self.use_energy_guard = use_energy_guard
@@ -63,6 +67,7 @@ class FibonacciApp:
         self.check_node_cycles = check_node_cycles
         self.iteration_cycles = iteration_cycles
         self.target_length = target_length
+        self.use_safe_list = use_safe_list
         self.checks_run = 0
         self.check_failures = 0
 
@@ -81,7 +86,8 @@ class FibonacciApp:
         api.device.memory.write_u16(api.nv_var("fib.alloc"), 2)
 
     def _list(self, api: DeviceAPI) -> NVLinkedList:
-        return NVLinkedList(api, "fib", capacity=self.capacity)
+        cls = SafeNVLinkedList if self.use_safe_list else NVLinkedList
+        return cls(api, "fib", capacity=self.capacity)
 
     # -- the debug build's consistency check ------------------------------------
     def consistency_check(self, api: DeviceAPI, nv_list: NVLinkedList) -> bool:
@@ -125,6 +131,8 @@ class FibonacciApp:
     def main(self, api: DeviceAPI) -> None:
         """Figure 8's main: debug check first, then the generate loop."""
         nv_list = self._list(api)
+        if self.use_safe_list:
+            nv_list.repair()  # type: ignore[attr-defined]
         if self.debug_build:
             if self.use_energy_guard:
                 with api.edb_energy_guard():

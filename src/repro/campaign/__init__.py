@@ -1,0 +1,85 @@
+"""Deterministic fault-injection campaigns with a differential oracle.
+
+A campaign runs an intermittent application hundreds of times under
+randomized power-failure placement, harvesting-environment
+perturbation, and (optionally) FRAM corruption, and compares every run
+against the same program on continuous power — the paper's central
+observation, that intermittence bugs cannot manifest on continuous
+power, turned into an automated test oracle.
+
+Typical use::
+
+    from repro.campaign import CampaignConfig, run_campaign
+
+    report = run_campaign(CampaignConfig(app="linked_list", runs=200,
+                                         seed=42, workers=4))
+    assert report["summary"]["diverged"] > 0  # the Figure 3 bug, found
+
+or from the shell::
+
+    python -m repro.campaign --app linked_list --runs 200 --workers 4 \
+        --seed 42
+
+See ``docs/CAMPAIGN.md`` for the full tour.
+"""
+
+from repro.campaign.apps import ADAPTERS, get_adapter
+from repro.campaign.config import FAULT_MODES, CampaignConfig
+from repro.campaign.faults import (
+    CommitBoundaryTrigger,
+    EnergyLevelTrigger,
+    FaultPlan,
+    RebootRecorder,
+    ScheduledBrownouts,
+    StateCorruptor,
+    plan_faults,
+)
+from repro.campaign.oracle import (
+    AGREE,
+    DIVERGED,
+    INCONCLUSIVE,
+    Observation,
+    Verdict,
+    compare,
+)
+from repro.campaign.report import build_report, render_json, write_report
+from repro.campaign.runner import (
+    execute_run,
+    replay_with_schedule,
+    run_continuous_leg,
+    run_intermittent_leg,
+    verdict_for_schedule,
+)
+from repro.campaign.scheduler import run_campaign
+from repro.campaign.shrinker import ddmin, shrink_schedule
+
+__all__ = [
+    "ADAPTERS",
+    "AGREE",
+    "DIVERGED",
+    "INCONCLUSIVE",
+    "CampaignConfig",
+    "CommitBoundaryTrigger",
+    "EnergyLevelTrigger",
+    "FAULT_MODES",
+    "FaultPlan",
+    "Observation",
+    "RebootRecorder",
+    "ScheduledBrownouts",
+    "StateCorruptor",
+    "Verdict",
+    "build_report",
+    "compare",
+    "ddmin",
+    "execute_run",
+    "get_adapter",
+    "plan_faults",
+    "render_json",
+    "replay_with_schedule",
+    "run_campaign",
+    "run_continuous_leg",
+    "run_intermittent_leg",
+    "shrink_schedule",
+    "verdict_for_schedule",
+    "write_report",
+]

@@ -1,0 +1,17 @@
+"""``python -m repro.campaign`` entry point."""
+
+import os
+import sys
+
+from repro.campaign.cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit like a killed
+        # process (128+SIGPIPE), without a traceback.  Redirect stdout
+        # to devnull so the interpreter's shutdown flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 141
+    raise SystemExit(code)

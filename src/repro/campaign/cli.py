@@ -1,0 +1,146 @@
+"""Command-line front end: ``python -m repro.campaign``.
+
+Example::
+
+    python -m repro.campaign --app linked_list --runs 200 --workers 4 \
+        --seed 42 --out campaign_report.json
+
+Wall-clock timing is printed to the console but deliberately kept out
+of the JSON report, which must be byte-identical for identical seeds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.campaign.apps import get_adapter
+from repro.campaign.config import FAULT_MODES, CampaignConfig
+from repro.campaign.report import write_report
+from repro.campaign.scheduler import run_campaign
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The campaign CLI's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description=(
+            "Deterministic fault-injection campaign: run an intermittent "
+            "application hundreds of times under randomized power "
+            "failures and diff every run against continuous power."
+        ),
+    )
+    defaults = CampaignConfig()
+    parser.add_argument("--app", default=defaults.app,
+                        help="application under test (default: %(default)s)")
+    parser.add_argument("--runs", type=int, default=defaults.runs,
+                        help="number of randomized runs (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=defaults.seed,
+                        help="master seed (default: %(default)s)")
+    parser.add_argument("--workers", type=int, default=defaults.workers,
+                        help="worker processes (default: %(default)s)")
+    parser.add_argument("--protect", action="store_true",
+                        help="run the intermittence-protected app variant")
+    parser.add_argument("--iterations", type=int, default=defaults.iterations,
+                        help="workload size per run (default: %(default)s)")
+    parser.add_argument("--duration", type=float, default=defaults.duration,
+                        help="simulated seconds per run (default: %(default)s)")
+    parser.add_argument("--modes", default=",".join(defaults.modes),
+                        help=f"comma-separated fault modes from {FAULT_MODES}")
+    parser.add_argument("--corrupt-checkpoints", action="store_true",
+                        help="enable the FRAM bit-flip corruption axis")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip minimizing diverging reboot schedules")
+    parser.add_argument("--shrink-limit", type=int,
+                        default=defaults.shrink_limit,
+                        help="max diverging runs to shrink (default: %(default)s)")
+    parser.add_argument("--capture", action="store_true",
+                        help="re-run the first divergence with EDB attached "
+                             "and embed the monitor context in the report")
+    parser.add_argument("--chunk", type=int, default=defaults.chunk,
+                        help="runs per work unit (0 = auto)")
+    parser.add_argument("--out", default="campaign_report.json",
+                        help="report path (default: %(default)s)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+    parser.add_argument("--fail-on-divergence", action="store_true",
+                        help="exit nonzero when any run diverges")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> CampaignConfig:
+    """Translate parsed CLI arguments into a validated config."""
+    get_adapter(args.app)  # fail fast with the list of known apps
+    return CampaignConfig(
+        app=args.app,
+        runs=args.runs,
+        seed=args.seed,
+        workers=args.workers,
+        protect=args.protect,
+        iterations=args.iterations,
+        duration=args.duration,
+        modes=tuple(m.strip() for m in args.modes.split(",") if m.strip()),
+        corrupt_checkpoints=args.corrupt_checkpoints,
+        shrink=not args.no_shrink,
+        shrink_limit=args.shrink_limit,
+        capture=args.capture,
+        chunk=args.chunk,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        config = config_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(done: int, total: int) -> None:
+        if not args.quiet:
+            print(f"\r  {done}/{total} runs", end="", file=sys.stderr, flush=True)
+
+    started = time.perf_counter()
+    report = run_campaign(config, progress=progress)
+    elapsed = time.perf_counter() - started
+    if not args.quiet:
+        print(file=sys.stderr)
+    path = write_report(args.out, report)
+
+    summary = report["summary"]
+    variant = "protected" if config.protect else "naive"
+    print(
+        f"{config.app} ({variant}): {summary['runs']} runs in {elapsed:.1f}s "
+        f"({config.workers} worker{'s' if config.workers != 1 else ''}) — "
+        f"{summary['diverged']} diverged, {summary['agree']} agreed, "
+        f"{summary['inconclusive']} inconclusive"
+    )
+    for divergence in report["divergences"]:
+        reboots = len(divergence["observed_schedule"])
+        if "shrunk" not in divergence:
+            note = (
+                "beyond --shrink-limit" if config.shrink
+                else "shrinking disabled"
+            )
+            where = f"schedule: {reboots} reboots ({note})"
+        elif divergence["shrunk"] is None:
+            where = (
+                f"schedule: {reboots} reboots "
+                f"(did not reproduce on bench replay)"
+            )
+        else:
+            shrunk = divergence["shrunk"]
+            where = (
+                f"minimal schedule: {shrunk['schedule']} "
+                f"({shrunk['reboots']} reboot{'s' if shrunk['reboots'] != 1 else ''})"
+            )
+        print(
+            f"  run {divergence['index']} [{divergence['plan']['mode']}] "
+            f"{divergence['verdict']['reason']} — {where}"
+        )
+    print(f"report: {path}")
+    if args.fail_on_divergence and summary["diverged"]:
+        return 1
+    return 0

@@ -1,0 +1,115 @@
+"""The differential oracle: intermittent vs continuous execution.
+
+The paper's core observation is that intermittence bugs *cannot*
+manifest on continuous power (§2, §3.1) — which is exactly what makes
+continuous execution a sound reference: any schedule-invariant
+observable that differs between an intermittent run and the same
+program on continuous power is evidence of an intermittence bug.
+
+The oracle is deliberately conservative about what counts as a
+divergence, because a fault-injection campaign lives or dies by its
+false-positive rate:
+
+- only the adapter's ``invariant_keys`` are compared — observables
+  that legitimately depend on the reboot schedule (progress counters,
+  list lengths) never enter the comparison;
+- a run that merely ran out of simulated time or energy, with clean
+  memory and matching invariants, is *inconclusive*, not divergent —
+  slow progress is the expected cost of intermittent power, not a bug;
+- memory faults under intermittence are divergences only when the
+  continuous control is fault-free (a program that crashes on a bench
+  supply is just broken, not intermittence-broken).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+AGREE = "agree"
+DIVERGED = "diverged"
+INCONCLUSIVE = "inconclusive"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What one execution leg looked like when it ended."""
+
+    status: str
+    faults: int
+    boots: int
+    reboots: int
+    observables: dict
+    detail: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "faults": self.faults,
+            "boots": self.boots,
+            "reboots": self.reboots,
+            "observables": dict(self.observables),
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The oracle's ruling on one run."""
+
+    verdict: str
+    reason: str
+    diff: dict = field(default_factory=dict)
+
+    @property
+    def diverged(self) -> bool:
+        return self.verdict == DIVERGED
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "diff": dict(self.diff),
+        }
+
+
+def compare(
+    intermittent: Observation,
+    continuous: Observation,
+    invariant_keys: tuple[str, ...],
+) -> Verdict:
+    """Rule on one (intermittent, continuous) pair of observations."""
+    if continuous.faults or continuous.status != "completed":
+        return Verdict(
+            INCONCLUSIVE,
+            f"continuous control did not complete cleanly "
+            f"(status={continuous.status}, faults={continuous.faults})",
+        )
+    if intermittent.faults:
+        return Verdict(
+            DIVERGED,
+            f"{intermittent.faults} memory fault(s) under intermittent "
+            f"power, none under continuous power",
+        )
+    if intermittent.status == "assert_failed":
+        return Verdict(
+            DIVERGED, "invariant assertion failed under intermittent power"
+        )
+    diff = {
+        key: {
+            "intermittent": intermittent.observables.get(key),
+            "continuous": continuous.observables.get(key),
+        }
+        for key in invariant_keys
+        if intermittent.observables.get(key) != continuous.observables.get(key)
+    }
+    if diff:
+        return Verdict(
+            DIVERGED, "schedule-invariant observables differ", diff=diff
+        )
+    if intermittent.status == "completed":
+        return Verdict(AGREE, "completed with matching invariants")
+    return Verdict(
+        INCONCLUSIVE,
+        f"intermittent run ended with {intermittent.status}; "
+        f"invariants match but the workload did not finish",
+    )

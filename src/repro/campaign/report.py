@@ -1,0 +1,107 @@
+"""Deterministic JSON report assembly.
+
+The report is the campaign's contract with its caller: for a given
+:class:`~repro.campaign.config.CampaignConfig` it is **byte-identical**
+across repetitions, worker counts, and machines.  That rules out
+timestamps, wall-clock durations, hostnames, and float formatting
+surprises — everything in here is either config, simulated quantities,
+or counts, serialized with sorted keys.  (The CLI prints wall-clock
+timing to the console precisely because it must stay out of this file's
+output.)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.campaign.config import CampaignConfig
+from repro.campaign.oracle import AGREE, DIVERGED, INCONCLUSIVE
+
+REPORT_FORMAT = 1
+
+
+def _summarize(records: list[dict]) -> dict:
+    verdicts = {AGREE: 0, DIVERGED: 0, INCONCLUSIVE: 0}
+    statuses: dict[str, int] = {}
+    modes: dict[str, int] = {}
+    injected = 0
+    observed = 0
+    for record in records:
+        verdicts[record["verdict"]["verdict"]] += 1
+        status = record["intermittent"]["status"]
+        statuses[status] = statuses.get(status, 0) + 1
+        mode = record["plan"]["mode"]
+        modes[mode] = modes.get(mode, 0) + 1
+        injected += record["injected_reboots"]
+        observed += record["intermittent"]["reboots"]
+    return {
+        "runs": len(records),
+        "agree": verdicts[AGREE],
+        "diverged": verdicts[DIVERGED],
+        "inconclusive": verdicts[INCONCLUSIVE],
+        "statuses": statuses,
+        "modes": modes,
+        "injected_reboots": injected,
+        "observed_reboots": observed,
+    }
+
+
+def _run_row(record: dict) -> dict:
+    """The compact per-run row (full detail is kept for divergences)."""
+    return {
+        "index": record["index"],
+        "seed": record["seed"],
+        "mode": record["plan"]["mode"],
+        "verdict": record["verdict"]["verdict"],
+        "status": record["intermittent"]["status"],
+        "boots": record["intermittent"]["boots"],
+        "reboots": record["intermittent"]["reboots"],
+        "faults": record["intermittent"]["faults"],
+    }
+
+
+def _divergence_row(record: dict) -> dict:
+    row = {
+        "index": record["index"],
+        "seed": record["seed"],
+        "plan": record["plan"],
+        "injected_reboots": record["injected_reboots"],
+        "observed_schedule": record["observed_schedule"],
+        "intermittent": record["intermittent"],
+        "continuous": record["continuous"],
+        "verdict": record["verdict"],
+    }
+    if "shrunk" in record:
+        row["shrunk"] = record["shrunk"]
+    if "capture" in record:
+        row["capture"] = record["capture"]
+    return row
+
+
+def build_report(config: CampaignConfig, records: list[dict]) -> dict:
+    """Assemble the report dict from sorted, finalized run records."""
+    records = sorted(records, key=lambda r: r["index"])
+    return {
+        "format": REPORT_FORMAT,
+        "campaign": config.to_dict(),
+        "summary": _summarize(records),
+        "runs": [_run_row(r) for r in records],
+        "divergences": [
+            _divergence_row(r)
+            for r in records
+            if r["verdict"]["verdict"] == DIVERGED
+        ],
+    }
+
+
+def render_json(report: dict) -> str:
+    """Canonical serialization: sorted keys, stable indentation."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+def write_report(path: str | Path, report: dict) -> Path:
+    """Write the canonical JSON to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(render_json(report))
+    return path

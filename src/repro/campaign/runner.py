@@ -1,0 +1,191 @@
+"""Per-run execution: the intermittent leg, the control leg, replays.
+
+:func:`execute_run` is the unit of campaign work — it is what worker
+processes execute.  Each run builds a *fresh* simulator, power system,
+target, and program for every leg, so runs share no state and can be
+computed in any order, in any process, with identical results.
+
+Seeding discipline: the run's seed is
+``derive_seed(config.seed, "run", index)``; everything inside the run
+(the fault plan, each leg's simulator) derives from it.  Nothing reads
+the global ``random`` module or the wall clock, which is what makes a
+campaign's report byte-identical across repetitions and worker counts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.campaign.apps import get_adapter
+from repro.campaign.config import CampaignConfig
+from repro.campaign.faults import (
+    CommitBoundaryTrigger,
+    EnergyLevelTrigger,
+    FaultPlan,
+    RebootRecorder,
+    ScheduledBrownouts,
+    StateCorruptor,
+    plan_faults,
+)
+from repro.campaign.oracle import Observation, Verdict, compare
+from repro.power.harvester import RFHarvester
+from repro.runtime.executor import IntermittentExecutor, RunResult
+from repro.sim.kernel import Simulator
+from repro.sim.rng import derive_seed
+from repro.testing import make_bench_target, make_fast_target
+
+
+def _observation(result: RunResult, observables: dict) -> Observation:
+    detail = result.detail
+    return Observation(
+        status=result.status.value,
+        faults=len(result.faults),
+        boots=result.boots,
+        reboots=result.reboots,
+        observables=observables,
+        detail=None if detail is None else str(detail),
+    )
+
+
+def _install_injectors(target, plan: FaultPlan) -> list:
+    injectors = []
+    if plan.mode == "op_index" and plan.ops_schedule:
+        injectors.append(ScheduledBrownouts(target, list(plan.ops_schedule)))
+    elif plan.mode == "energy_level" and plan.energy_levels:
+        injectors.append(EnergyLevelTrigger(target, list(plan.energy_levels)))
+    elif plan.mode == "commit_boundary" and plan.commit_counts:
+        injectors.append(CommitBoundaryTrigger(target, list(plan.commit_counts)))
+    return injectors
+
+
+def run_intermittent_leg(
+    config: CampaignConfig, adapter, plan: FaultPlan, leg_seed: int
+) -> tuple[Observation, list[int], int]:
+    """One intermittent execution under a fault plan.
+
+    Returns the observation, the recorded brown-out schedule (ops per
+    boot), and the number of injected brown-outs.
+    """
+    sim = Simulator(seed=leg_seed)
+    target = make_fast_target(
+        sim, distance_m=plan.distance_m, fading_sigma=plan.fading_sigma
+    )
+    if plan.duty is not None and isinstance(target.power.source, RFHarvester):
+        target.power.source.duty_period = plan.duty[0]
+        target.power.source.duty_fraction = plan.duty[1]
+    program = adapter.build(config.protect, config.iterations)
+    executor = IntermittentExecutor(sim, target, program)
+    executor.flash()
+    recorder = RebootRecorder(target)
+    injectors = _install_injectors(target, plan)
+    if plan.flips:
+        injectors.append(
+            StateCorruptor(
+                target,
+                adapter.state_ranges(program, executor.api),
+                list(plan.flips),
+            )
+        )
+    result = executor.run(duration=config.duration, stop_on_fault=True)
+    observation = _observation(result, adapter.observe(program, executor.api))
+    injected = sum(getattr(i, "injections", 0) for i in injectors)
+    return observation, recorder.schedule(), injected
+
+
+def run_continuous_leg(
+    config: CampaignConfig, adapter, leg_seed: int
+) -> Observation:
+    """The control: the same program on continuous (tethered) power."""
+    sim = Simulator(seed=leg_seed)
+    target = make_fast_target(sim)
+    program = adapter.build(config.protect, config.iterations)
+    executor = IntermittentExecutor(sim, target, program)
+    executor.flash()
+    result = executor.run_continuous(duration=config.duration)
+    return _observation(result, adapter.observe(program, executor.api))
+
+
+def replay_with_schedule(
+    config: CampaignConfig, adapter, schedule: list[int]
+) -> Observation:
+    """Replay a brown-out schedule on a bench supply.
+
+    The bench target never browns out organically (§4.2's emulated
+    intermittence): the schedule is the *only* source of power
+    failures, so a candidate schedule either reproduces the divergence
+    or it does not — the exact property the shrinker needs.
+    """
+    sim = Simulator(seed=derive_seed(config.seed, "replay"))
+    target = make_bench_target(sim)
+    program = adapter.build(config.protect, config.iterations)
+    executor = IntermittentExecutor(sim, target, program)
+    executor.flash()
+    injector = ScheduledBrownouts(target, list(schedule))
+    result = executor.run(duration=config.duration, stop_on_fault=True)
+    injector.remove()
+    return _observation(result, adapter.observe(program, executor.api))
+
+
+def execute_run(config: CampaignConfig, index: int) -> dict:
+    """Execute campaign run ``index``: both legs plus the oracle ruling.
+
+    The returned record is a plain JSON-ready dict (it crosses process
+    boundaries and lands in the report).
+    """
+    adapter = get_adapter(config.app)
+    run_seed = derive_seed(config.seed, "run", index)
+    plan = plan_faults(config, random.Random(derive_seed(run_seed, "plan")))
+    intermittent, schedule, injected = run_intermittent_leg(
+        config, adapter, plan, derive_seed(run_seed, "intermittent")
+    )
+    continuous = run_continuous_leg(
+        config, adapter, derive_seed(run_seed, "continuous")
+    )
+    verdict = compare(intermittent, continuous, adapter.invariant_keys)
+    return {
+        "index": index,
+        "seed": run_seed,
+        "plan": plan.to_dict(),
+        "injected_reboots": injected,
+        "observed_schedule": schedule,
+        "intermittent": intermittent.to_dict(),
+        "continuous": continuous.to_dict(),
+        "verdict": verdict.to_dict(),
+    }
+
+
+def verdict_for_schedule(
+    config: CampaignConfig, adapter, continuous: Observation, schedule: list[int]
+) -> Verdict:
+    """The oracle's ruling on a bench replay of ``schedule``."""
+    observation = replay_with_schedule(config, adapter, schedule)
+    return compare(observation, continuous, adapter.invariant_keys)
+
+
+def capture_divergence(config: CampaignConfig, record: dict) -> dict | None:
+    """Re-run a diverging run with EDB attached in passive mode.
+
+    Returns the monitor's divergence context (energy tail, watchpoint
+    hit counts, printf output) — the correlated streams a developer
+    would inspect in the console.  The debugger's leakage makes this
+    leg's trajectory differ slightly from the recorded one, which is
+    fine: the capture is diagnostic garnish, never oracle input.
+    """
+    from repro.core.debugger import EDB  # deferred: core pulls in the board stack
+
+    adapter = get_adapter(config.app)
+    run_seed = record["seed"]
+    plan = plan_faults(config, random.Random(derive_seed(run_seed, "plan")))
+    sim = Simulator(seed=derive_seed(run_seed, "capture"))
+    target = make_fast_target(
+        sim, distance_m=plan.distance_m, fading_sigma=plan.fading_sigma
+    )
+    edb = EDB(sim, target)
+    edb.trace("energy")
+    edb.trace("watchpoints")
+    program = adapter.build(config.protect, config.iterations)
+    executor = IntermittentExecutor(sim, target, program, edb=edb.libedb())
+    executor.flash()
+    _install_injectors(target, plan)
+    executor.run(duration=config.duration, stop_on_fault=True)
+    return edb.divergence_context()

@@ -1,0 +1,122 @@
+"""The campaign scheduler: chunked parallel execution plus post-passes.
+
+Runs are independent by construction (see :mod:`repro.campaign.runner`),
+so the scheduler's only real job is throughput bookkeeping: split the
+run indices into chunks, farm the chunks out to worker processes, and
+reassemble the records in index order so the output is identical no
+matter which worker finished first.
+
+Chunking matters because one run is short (tens of milliseconds): a
+naive run-per-task pool drowns in IPC.  A chunk amortizes the pickle
+and process round-trip over many runs while still load-balancing —
+stragglers only ever hold one chunk, not a fixed shard.
+
+The shrink and capture post-passes run in the parent process: they
+touch at most ``shrink_limit`` runs, and keeping them serial keeps the
+ddmin replay sequence (and therefore the report) deterministic.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable
+
+from repro.campaign.apps import get_adapter
+from repro.campaign.config import CampaignConfig
+from repro.campaign.oracle import DIVERGED, Observation
+from repro.campaign.report import build_report
+from repro.campaign.runner import (
+    capture_divergence,
+    execute_run,
+    run_continuous_leg,
+    verdict_for_schedule,
+)
+from repro.campaign.shrinker import shrink_schedule
+from repro.sim.rng import derive_seed
+
+
+def _chunk_worker(config_dict: dict, indices: list[int]) -> list[dict]:
+    """Worker entry point: execute a chunk of runs (picklable, module-level)."""
+    config = CampaignConfig.from_dict(config_dict)
+    return [execute_run(config, index) for index in indices]
+
+
+def _chunks(config: CampaignConfig) -> list[list[int]]:
+    indices = list(range(config.runs))
+    if config.chunk > 0:
+        size = config.chunk
+    else:
+        # ~4 chunks per worker balances stragglers against IPC overhead.
+        size = max(1, min(25, (config.runs + 4 * config.workers - 1)
+                          // (4 * config.workers)))
+    return [indices[i : i + size] for i in range(0, len(indices), size)]
+
+
+def _shrink_pass(config: CampaignConfig, records: list[dict]) -> None:
+    """Minimize the first ``shrink_limit`` diverging runs in place."""
+    diverging = [
+        r for r in records if r["verdict"]["verdict"] == DIVERGED
+    ][: config.shrink_limit]
+    if not diverging:
+        return
+    adapter = get_adapter(config.app)
+    continuous: Observation = run_continuous_leg(
+        config, adapter, derive_seed(config.seed, "shrink-control")
+    )
+    for record in diverging:
+        def still_fails(candidate: list[int]) -> bool:
+            return verdict_for_schedule(
+                config, adapter, continuous, candidate
+            ).diverged
+
+        minimal = shrink_schedule(record["observed_schedule"], still_fails)
+        record["shrunk"] = (
+            None
+            if minimal is None
+            else {"schedule": minimal, "reboots": len(minimal)}
+        )
+
+
+def run_campaign(
+    config: CampaignConfig,
+    progress: Callable[[int, int], None] | None = None,
+) -> dict:
+    """Execute a full campaign and return the report dict.
+
+    ``progress(done, total)`` is invoked after each finished chunk.
+    With ``workers == 1`` everything runs inline in this process —
+    bit-for-bit the same records the pool produces, which is both the
+    determinism contract and the debugging escape hatch.
+    """
+    chunks = _chunks(config)
+    records: list[dict] = []
+    done = 0
+    if config.workers == 1:
+        for chunk in chunks:
+            records.extend(_chunk_worker(config.to_dict(), chunk))
+            done += len(chunk)
+            if progress is not None:
+                progress(done, config.runs)
+    else:
+        config_dict = config.to_dict()
+        with ProcessPoolExecutor(max_workers=config.workers) as pool:
+            pending = {
+                pool.submit(_chunk_worker, config_dict, chunk): len(chunk)
+                for chunk in chunks
+            }
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    records.extend(future.result())
+                    done += pending.pop(future)
+                    if progress is not None:
+                        progress(done, config.runs)
+    records.sort(key=lambda r: r["index"])
+    if config.shrink:
+        _shrink_pass(config, records)
+    if config.capture:
+        for record in records:
+            if record["verdict"]["verdict"] == DIVERGED:
+                record["capture"] = capture_divergence(config, record)
+                break
+    return build_report(config, records)

@@ -1,0 +1,85 @@
+"""Delta-debugging shrinker for diverging reboot schedules.
+
+A diverging run arrives with the full brown-out schedule the recorder
+observed — often dozens of reboots, almost all of them irrelevant.  The
+shrinker minimizes that schedule with the classic ddmin algorithm
+[Zeller & Hildebrandt, TSE'02]: repeatedly try removing chunks of the
+schedule, keep any candidate that still diverges when replayed on the
+bench target, and tighten the granularity until no single entry can be
+removed.
+
+The result is the campaign's most valuable artefact: "this program
+corrupts memory after a *single* reboot placed 247 operations into a
+boot" is actionable in a way a 60-reboot trace never is — it is the
+minimal schedule a developer replays under EDB to watch the bug happen.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def ddmin(
+    items: list[int],
+    still_fails: Callable[[list[int]], bool],
+    max_tests: int = 192,
+) -> list[int]:
+    """Minimize ``items`` while ``still_fails`` holds.
+
+    ``still_fails(candidate)`` must return ``True`` when the candidate
+    schedule still reproduces the divergence.  The caller guarantees
+    ``still_fails(items)`` is ``True``; the result is 1-minimal up to
+    the test budget (every test is a full bench replay, so the budget
+    caps shrink cost on pathological schedules).
+    """
+    items = list(items)
+    tests = 0
+
+    def check(candidate: list[int]) -> bool:
+        nonlocal tests
+        tests += 1
+        return still_fails(candidate)
+
+    granularity = 2
+    while len(items) >= 2 and tests < max_tests:
+        chunk = max(1, (len(items) + granularity - 1) // granularity)
+        subsets = [items[i : i + chunk] for i in range(0, len(items), chunk)]
+        reduced = False
+        for skip in range(len(subsets)):
+            if tests >= max_tests:
+                break
+            complement = [
+                entry
+                for j, subset in enumerate(subsets)
+                if j != skip
+                for entry in subset
+            ]
+            if complement and check(complement):
+                items = complement
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def shrink_schedule(
+    schedule: list[int],
+    still_fails: Callable[[list[int]], bool],
+    max_tests: int = 192,
+) -> list[int] | None:
+    """Minimize a recorded schedule, or ``None`` if it does not replay.
+
+    A schedule can fail to replay when the divergence depended on
+    something the bench replay does not reproduce (a corruption flip,
+    an energy-trajectory effect): the campaign reports such runs
+    unshrunk rather than pretending the replay is faithful.
+    """
+    if not schedule:
+        return None
+    if not still_fails(list(schedule)):
+        return None
+    return ddmin(list(schedule), still_fails, max_tests=max_tests)

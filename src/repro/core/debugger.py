@@ -145,6 +145,31 @@ class EDB:
         """True while the target runs on EDB's continuous supply."""
         return self.device.power.is_tethered
 
+    # -- divergence capture -----------------------------------------------------------
+    def divergence_context(self, tail: int = 64) -> dict:
+        """Monitor-derived context around a failing run's end.
+
+        The campaign engine re-executes a diverging run with EDB
+        attached in passive mode and stores this snapshot in its report:
+        the last ``tail`` energy samples, per-watchpoint hit counts, and
+        any printf output — the same correlated streams a developer
+        would pull up in the console to understand the failure.
+        """
+        times, volts = self.monitor.energy_series()
+        energy_tail = [
+            [round(t, 9), round(v, 6)]
+            for t, v in list(zip(times, volts))[-tail:]
+        ]
+        watchpoints: dict[str, int] = {}
+        for event in self.monitor.stream_events("watchpoints"):
+            key = str(event.value)
+            watchpoints[key] = watchpoints.get(key, 0) + 1
+        return {
+            "energy_tail": energy_tail,
+            "watchpoint_hits": watchpoints,
+            "printf": [text for _, text in self.printf_output],
+        }
+
     # -- characterisation -------------------------------------------------------------
     def interference_report(self, trials: int = 50) -> dict:
         """Per-connection worst-case leakage (the Table 2 sweep)."""

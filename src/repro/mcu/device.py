@@ -104,6 +104,9 @@ class TargetDevice:
         self.reboot_count = 0
         self.energy_consumed = 0.0
         self.stop_after: float | None = None  # executor deadline (sim time)
+        # Observers of power-failure resets (fault injectors re-arm
+        # their per-boot schedules here; recorders log boot boundaries).
+        self.on_reboot: list[Callable[[int], None]] = []
         # Hooks run after each unit of work completes (an attached
         # debugger services pending energy breakpoints here, mimicking
         # its interrupt line).  Guarded against re-entrancy.
@@ -221,6 +224,8 @@ class TargetDevice:
             self.cpu.reset(0)
         self.reboot_count += 1
         self.sim.trace.record("target.reboot", self.reboot_count)
+        for hook in self.on_reboot:
+            hook(self.reboot_count)
 
     def load_program(self, program: Program) -> None:
         """Write an assembled image into FRAM and point the CPU at it."""

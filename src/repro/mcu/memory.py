@@ -156,6 +156,15 @@ class MemoryMap:
         self._by_name = {r.name: r for r in self.regions}
         if len(self._by_name) != len(self.regions):
             raise ValueError("region names must be unique")
+        # Write observers: ``hook(address, width)`` after every
+        # successful map-level store.  The campaign's commit-boundary
+        # fault injector watches FRAM traffic here; observers must not
+        # themselves touch target memory.
+        self.write_observers: list = []
+
+    def _notify_write(self, address: int, width: int) -> None:
+        for hook in self.write_observers:
+            hook(address, width)
 
     def region(self, name: str) -> MemoryRegion:
         """Look a region up by name."""
@@ -188,6 +197,7 @@ class MemoryMap:
     def write_u8(self, address: int, value: int) -> None:
         """Write a byte anywhere in the address space."""
         self.region_at(address, 1).write_u8(address, value)
+        self._notify_write(address, 1)
 
     def read_u16(self, address: int) -> int:
         """Read a word anywhere in the address space."""
@@ -196,6 +206,7 @@ class MemoryMap:
     def write_u16(self, address: int, value: int) -> None:
         """Write a word anywhere in the address space."""
         self.region_at(address, 2).write_u16(address, value)
+        self._notify_write(address, 2)
 
     def read_bytes(self, address: int, count: int) -> bytes:
         """Read raw bytes anywhere in the address space."""
@@ -204,6 +215,7 @@ class MemoryMap:
     def write_bytes(self, address: int, data: bytes | bytearray) -> None:
         """Write raw bytes anywhere in the address space."""
         self.region_at(address, len(data)).write_bytes(address, data)
+        self._notify_write(address, len(data))
 
     def clear_volatile(self) -> None:
         """Clear every volatile region (reboot semantics)."""

@@ -102,6 +102,14 @@ class RFHarvester:
         Log-normal shadowing sigma (dB); 0 disables fading jitter.
     rng:
         Hub for the fading stream (required when ``fading_sigma > 0``).
+    duty_period / duty_fraction:
+        Optional on/off modulation of the RF field: the reader
+        illuminates the tag for ``duty_fraction`` of every
+        ``duty_period`` seconds and is dark the rest (inventory-round
+        pauses, regulatory duty limits).  ``duty_period = 0`` (default)
+        means continuous illumination.  The modulation is a pure
+        function of simulated time, so perturbing it never costs
+        determinism.
     """
 
     def __init__(
@@ -113,25 +121,42 @@ class RFHarvester:
         reference_gain: float = 0.065,
         fading_sigma: float = 0.0,
         rng: RngHub | None = None,
+        duty_period: float = 0.0,
+        duty_fraction: float = 1.0,
     ) -> None:
         if distance_m <= 0.0:
             raise ValueError(f"distance must be positive (got {distance_m})")
         if not 0.0 < efficiency <= 1.0:
             raise ValueError(f"efficiency must be in (0, 1] (got {efficiency})")
+        if duty_period < 0.0:
+            raise ValueError(f"duty period must be >= 0 (got {duty_period})")
+        if not 0.0 < duty_fraction <= 1.0:
+            raise ValueError(
+                f"duty fraction must be in (0, 1] (got {duty_fraction})"
+            )
         self.tx_power_dbm = tx_power_dbm
         self.distance_m = distance_m
         self.efficiency = efficiency
         self.open_voltage = open_voltage
         self.reference_gain = reference_gain
         self.fading_sigma = fading_sigma
+        self.duty_period = duty_period
+        self.duty_fraction = duty_fraction
         self._rng = rng
         self._fade_db = 0.0
         self._fade_until = -1.0
         self.enabled = True
 
+    def field_on(self, t: float) -> bool:
+        """Whether the reader's RF field illuminates the tag at ``t``."""
+        if self.duty_period <= 0.0 or self.duty_fraction >= 1.0:
+            return True
+        phase = (t % self.duty_period) / self.duty_period
+        return phase < self.duty_fraction
+
     def harvested_power(self, t: float) -> float:
         """DC power available to the storage element, in watts."""
-        if not self.enabled:
+        if not self.enabled or not self.field_on(t):
             return 0.0
         tx_watts = units.dbm_to_watts(self.tx_power_dbm)
         received = tx_watts * self.reference_gain / (self.distance_m**2)

@@ -147,6 +147,24 @@ class PowerSystem:
         """Return the target to harvested power."""
         self._tether = None
 
+    def force_brownout(self, margin_v: float = 0.02) -> bool:
+        """Yank the capacitor just below the brown-out threshold.
+
+        The surgical fault-injection primitive shared by the test
+        injectors and the campaign engine: the *next* unit of device
+        work observes the dead rail and raises ``PowerFailure``, exactly
+        as an organic brown-out would.  Returns ``False`` (and does
+        nothing) when the target is tethered — a stiff supply cannot be
+        browned out, which mirrors the hardware.
+        """
+        if self.is_tethered:
+            return False
+        self.capacitor.voltage = min(
+            self.capacitor.voltage, self.brownout_voltage - margin_v
+        )
+        self.step(0.0)
+        return True
+
     # -- dynamics -----------------------------------------------------------
     def _active_source(self) -> EnergySource:
         return self._tether if self._tether is not None else self.source
@@ -200,6 +218,8 @@ class PowerSystem:
         """
         start = self.sim.now
         while not self.is_on:
+            if self.sim.stop_requested:
+                break  # cooperative stop: caller resumes charging later
             if self.sim.now - start > timeout:
                 raise ChargingTimeout(
                     f"capacitor stuck at {self.vcap:.3f} V after "

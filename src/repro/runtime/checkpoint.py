@@ -9,7 +9,11 @@ Checkpoints are double-buffered with a commit flag written last, so a
 power failure *during* checkpointing never leaves a torn snapshot: the
 previous committed checkpoint remains valid (this is the correctness
 property prior work [Ransford et al. ASPLOS'11; Jayakumar et al. 2014]
-establishes, and the property-based tests here verify).
+establishes, and the property-based tests here verify).  Each slot also
+carries a Fletcher-16 checksum of its used payload, so post-commit
+corruption of the saved state (bit rot, wear, injected faults) is
+*detected* at restore time and the runtime falls back to the older
+committed snapshot instead of resuming from garbage.
 
 Note the paper's central observation still holds with checkpointing in
 place: execution resumes at the *checkpoint*, not at the failure point,
@@ -28,17 +32,34 @@ from repro.mcu.memory import SRAM_BASE, SRAM_SIZE
 
 # FRAM layout of one checkpoint slot:
 #   [0]  sequence number (0 = empty)
-#   [2]  stack byte count
-#   [4]  16 register words
-#   [36] stack image (up to MAX_STACK bytes)
+#   [2]  Fletcher-16 checksum of the used payload (commit integrity)
+#   [4]  stack byte count
+#   [6]  16 register words
+#   [38] stack image (up to MAX_STACK bytes)
 _SEQ_OFF = 0
-_STACK_LEN_OFF = 2
-_REGS_OFF = 4
+_CKSUM_OFF = 2
+_STACK_LEN_OFF = 4
+_REGS_OFF = 6
 _STACK_OFF = _REGS_OFF + 2 * NUM_REGISTERS
 MAX_STACK = 256
 SLOT_SIZE = _STACK_OFF + MAX_STACK
 
 CHECKPOINT_CYCLES_BASE = 40  # bookkeeping overhead per checkpoint
+
+
+def fletcher16(data: bytes) -> int:
+    """Fletcher-16 over ``data`` (sums seeded at 1 so zeroes != valid).
+
+    The seed matters: an erased slot is all zeroes, and a plain Fletcher
+    of an all-zero payload is 0 — which would make a forged sequence
+    number on an empty slot validate.  Seeding the running sums at 1
+    gives every payload, including the empty one, a nonzero checksum.
+    """
+    sum1, sum2 = 1, 1
+    for byte in data:
+        sum1 = (sum1 + byte) % 255
+        sum2 = (sum2 + sum1) % 255
+    return (sum2 << 8) | sum1
 
 
 @dataclass(frozen=True)
@@ -68,6 +89,7 @@ class CheckpointManager:
         self.base_address = base_address
         self.checkpoints_taken = 0
         self.restores = 0
+        self.corruptions_detected = 0
 
     # -- slot helpers -----------------------------------------------------
     def _slot_address(self, slot: int) -> int:
@@ -76,18 +98,76 @@ class CheckpointManager:
     def _slot_sequence(self, slot: int) -> int:
         return self.device.memory.read_u16(self._slot_address(slot) + _SEQ_OFF)
 
-    def _committed_slot(self) -> int | None:
-        """Index of the slot holding the newest committed checkpoint."""
-        seq0 = self._slot_sequence(0)
-        seq1 = self._slot_sequence(1)
-        if seq0 == 0 and seq1 == 0:
+    def _slot_payload(self, slot: int) -> bytes | None:
+        """The used payload bytes of a slot, or ``None`` if implausible.
+
+        The payload is contiguous: the stack byte count, the register
+        file, and the live stack image.  A stack count outside the slot
+        capacity means the count itself is corrupt.
+        """
+        base = self._slot_address(slot)
+        stack_bytes = self.device.memory.read_u16(base + _STACK_LEN_OFF)
+        if not 0 <= stack_bytes <= MAX_STACK:
             return None
-        return 0 if seq0 >= seq1 else 1
+        return self.device.memory.read_bytes(
+            base + _STACK_LEN_OFF, 2 + 2 * NUM_REGISTERS + stack_bytes
+        )
+
+    def slot_is_valid(self, slot: int) -> bool:
+        """Whether a slot holds a committed, checksum-clean checkpoint."""
+        if self._slot_sequence(slot) == 0:
+            return False
+        payload = self._slot_payload(slot)
+        if payload is None:
+            return False
+        stored = self.device.memory.read_u16(
+            self._slot_address(slot) + _CKSUM_OFF
+        )
+        return fletcher16(payload) == stored
+
+    def _committed_slot(self) -> int | None:
+        """Index of the newest committed slot that passes validation.
+
+        Corrupted-but-committed slots are skipped (and counted), so a
+        bit-flip in the newest checkpoint degrades to the previous one
+        instead of resuming from garbage.
+        """
+        candidates = []
+        for slot in (0, 1):
+            if self._slot_sequence(slot) == 0:
+                continue
+            if self.slot_is_valid(slot):
+                candidates.append(slot)
+            else:
+                self.corruptions_detected += 1
+        if not candidates:
+            return None
+        return max(candidates, key=self._slot_sequence)
 
     def erase(self) -> None:
         """Invalidate both slots (used when flashing a new program)."""
         for slot in (0, 1):
             self.device.memory.write_u16(self._slot_address(slot) + _SEQ_OFF, 0)
+
+    def corrupt_bit(self, slot: int, byte_offset: int, bit: int) -> None:
+        """Flip one bit inside a slot's FRAM image (fault injection).
+
+        Host-side and uncosted — this models radiation/wear corruption
+        of the saved state, not target activity.  The campaign engine
+        and the property tests use it to verify that corrupted
+        checkpoints are detected rather than silently restored.
+        """
+        if slot not in (0, 1):
+            raise ValueError(f"slot must be 0 or 1 (got {slot})")
+        if not 0 <= byte_offset < SLOT_SIZE:
+            raise ValueError(
+                f"byte offset {byte_offset} outside slot of {SLOT_SIZE} bytes"
+            )
+        if not 0 <= bit < 8:
+            raise ValueError(f"bit must be 0..7 (got {bit})")
+        address = self._slot_address(slot) + byte_offset
+        value = self.device.memory.read_u8(address)
+        self.device.memory.write_u8(address, value ^ (1 << bit))
 
     # -- checkpoint / restore -------------------------------------------------
     def checkpoint(self) -> CheckpointInfo:
@@ -112,16 +192,22 @@ class CheckpointManager:
             )
         base = self._slot_address(target_slot)
         memory = self.device.memory
-        # Copy costs: ~2 cycles per word moved to FRAM.
-        words_moved = NUM_REGISTERS + stack_bytes // 2 + 2
+        # Copy costs: ~2 cycles per word moved to FRAM (the checksum
+        # word is one of them).
+        words_moved = NUM_REGISTERS + stack_bytes // 2 + 3
         self.device.execute_cycles(CHECKPOINT_CYCLES_BASE + 2 * words_moved)
+        stack_image = memory.read_bytes(cpu.sp, stack_bytes) if stack_bytes else b""
         memory.write_u16(base + _STACK_LEN_OFF, stack_bytes)
         for i, value in enumerate(cpu.registers):
             memory.write_u16(base + _REGS_OFF + 2 * i, value)
         if stack_bytes:
-            memory.write_bytes(
-                base + _STACK_OFF, memory.read_bytes(cpu.sp, stack_bytes)
-            )
+            memory.write_bytes(base + _STACK_OFF, stack_image)
+        payload = (
+            stack_bytes.to_bytes(2, "little")
+            + b"".join((r & 0xFFFF).to_bytes(2, "little") for r in cpu.registers)
+            + stack_image
+        )
+        memory.write_u16(base + _CKSUM_OFF, fletcher16(payload))
         # Commit point: the sequence-number write makes the slot live.
         memory.write_u16(base + _SEQ_OFF, sequence & 0xFFFF or 1)
         self.checkpoints_taken += 1

@@ -40,6 +40,7 @@ class RunStatus(enum.Enum):
     ASSERT_FAILED = "assert_failed"  # EDB keep-alive assert halted the target
     CRASHED = "crashed"  # unrecoverable memory corruption
     STARVED = "starved"  # harvester could not reach turn-on
+    INTERRUPTED = "interrupted"  # a cooperative stop request paused the run
 
 
 @dataclass
@@ -145,6 +146,13 @@ class IntermittentExecutor:
         detail = None
         try:
             while self.sim.now < deadline:
+                if self.sim.stop_requested:
+                    # Resumable pause: the clock and device state are
+                    # left untouched, so calling run() again continues
+                    # from exactly this point (after clear_stop()).
+                    status = RunStatus.INTERRUPTED
+                    detail = self.sim.stop_reason
+                    break
                 if max_boots is not None and boots >= max_boots:
                     break
                 if not self.device.power.is_on:
@@ -166,6 +174,8 @@ class IntermittentExecutor:
                         break
                     if self.sim.now >= deadline:
                         break
+                    if not self.device.power.is_on:
+                        continue  # charging paused by a stop request
                 self.device.reboot()
                 boots += 1
                 try:

@@ -224,6 +224,73 @@ class NVLinkedList:
         chain = self.walk()
         return bool(chain) and chain[-1] == tail
 
+    # -- host-side (uncosted) inspection ----------------------------------
+    #
+    # The campaign oracle audits the structure *after* a run without
+    # perturbing the experiment, the way EDB reads memory through its
+    # own wired connection rather than target cycles.  These helpers
+    # read the FRAM image directly and never touch the costed API.
+
+    def host_walk(self, limit: int | None = None) -> list[int]:
+        """Uncosted head-to-tail walk over the raw FRAM image."""
+        memory = self.api.device.memory
+        next_off = NODE.offset("next")
+        out: list[int] = []
+        cursor = memory.read_u16(self.header_addr + LIST_HEADER.offset("head"))
+        cap = limit if limit is not None else self.capacity * 4
+        while cursor != NULL and len(out) < cap:
+            out.append(cursor)
+            if not self._host_node_mapped(cursor):
+                break  # wild pointer: stop rather than fault
+            cursor = memory.read_u16(cursor + next_off)
+        return out
+
+    def _host_node_mapped(self, address: int) -> bool:
+        return (
+            self.pool_addr
+            <= address
+            <= self.pool_addr + (self.capacity - 1) * NODE.size
+            and (address - self.pool_addr) % NODE.size == 0
+        )
+
+    def host_audit(self) -> dict[str, bool | int]:
+        """Uncosted structural audit: the oracle's canonical observables.
+
+        Returns a dict of schedule-invariant facts about the list: a
+        correct (continuously powered, or intermittence-safe) execution
+        observed at an operation boundary always satisfies
+        ``consistent``; any Figure 3-style partial update breaks it.
+        """
+        memory = self.api.device.memory
+        head = memory.read_u16(self.header_addr + LIST_HEADER.offset("head"))
+        tail = memory.read_u16(self.header_addr + LIST_HEADER.offset("tail"))
+        length = memory.read_u16(self.header_addr + LIST_HEADER.offset("length"))
+        if head == NULL or tail == NULL:
+            consistent = head == NULL and tail == NULL and length == 0
+            return {"consistent": consistent, "length": length, "chain": 0}
+        chain = self.host_walk()
+        prev_off = NODE.offset("prev")
+        pointers_ok = all(self._host_node_mapped(a) for a in chain)
+        back_ok = True
+        expected_prev = NULL
+        for address in chain:
+            if not self._host_node_mapped(address):
+                back_ok = False
+                break
+            if memory.read_u16(address + prev_off) != expected_prev:
+                back_ok = False
+                break
+            expected_prev = address
+        consistent = (
+            pointers_ok
+            and back_ok
+            and bool(chain)
+            and chain[-1] == tail
+            and len(chain) == length
+            and len(chain) == len(set(chain))
+        )
+        return {"consistent": consistent, "length": length, "chain": len(chain)}
+
     def check_consistency(self) -> bool:
         """The Figure 8 debug-build check: full O(n) structural audit.
 

@@ -15,7 +15,7 @@ The kernel provides four things:
 """
 
 from repro.sim.kernel import Event, Simulator
-from repro.sim.rng import RngHub
+from repro.sim.rng import RngHub, derive_seed
 from repro.sim.trace import TraceEvent, TraceRecorder
 
 __all__ = [
@@ -24,4 +24,5 @@ __all__ = [
     "Simulator",
     "TraceEvent",
     "TraceRecorder",
+    "derive_seed",
 ]

@@ -60,6 +60,7 @@ class Simulator:
         self._seq = itertools.count()
         self.trace = TraceRecorder(clock=lambda: self._now)
         self.rng = RngHub(seed)
+        self._stop_reason: str | None = None
 
     # -- clock ----------------------------------------------------------
     @property
@@ -88,6 +89,34 @@ class Simulator:
         """Advance the clock to absolute time ``t`` (no-op if in the past)."""
         if t > self._now:
             self.advance(t - self._now)
+
+    # -- cooperative stop requests ---------------------------------------
+    #
+    # Long-running drivers (the intermittent executor's reboot loop, the
+    # power system's charging loop) poll ``stop_requested`` at their safe
+    # points — boot boundaries, charging steps — and return early when an
+    # event callback or external hook raises the flag.  The clock itself
+    # is untouched: after a stop the driver can simply be called again to
+    # resume from exactly where it left off, which is what makes the
+    # campaign engine's run-until-divergence capture resumable.
+
+    def request_stop(self, reason: str = "requested") -> None:
+        """Ask cooperative run loops to return at their next safe point."""
+        self._stop_reason = reason
+
+    def clear_stop(self) -> None:
+        """Acknowledge and clear a pending stop request."""
+        self._stop_reason = None
+
+    @property
+    def stop_requested(self) -> bool:
+        """True while a stop request is pending."""
+        return self._stop_reason is not None
+
+    @property
+    def stop_reason(self) -> str | None:
+        """The pending stop request's reason, or ``None``."""
+        return self._stop_reason
 
     # -- scheduling -------------------------------------------------------
     def call_at(self, t: float, callback: Callable[[], None]) -> Event:

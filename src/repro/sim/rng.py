@@ -15,6 +15,21 @@ import hashlib
 import random
 
 
+def derive_seed(root: int, *parts: object) -> int:
+    """A child seed deterministically derived from ``root`` and ``parts``.
+
+    The derivation is the same hash construction the hub uses for its
+    streams, so children are statistically independent of each other and
+    of every named stream.  This is the one sanctioned way to seed a
+    subordinate simulation (a campaign run, a worker process): never use
+    the global ``random`` module — an unseeded draw anywhere breaks
+    replay-by-seed for the whole experiment.
+    """
+    label = ":".join(str(p) for p in parts)
+    digest = hashlib.sha256(f"{root}/{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class RngHub:
     """Factory of named, independently seeded ``random.Random`` streams."""
 
@@ -42,3 +57,11 @@ class RngHub:
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"probability out of range: {probability}")
         return self.stream(name).random() < probability
+
+    def derive(self, *parts: object) -> int:
+        """A child seed derived from this hub's seed and ``parts``."""
+        return derive_seed(self.seed, *parts)
+
+    def fork(self, *parts: object) -> "RngHub":
+        """An independent hub seeded from this one (see :func:`derive_seed`)."""
+        return RngHub(self.derive(*parts))

@@ -19,6 +19,9 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.mcu.device import TargetDevice
+from repro.power.capacitor import StorageCapacitor
+from repro.power.harvester import ConstantCurrentSource
+from repro.power.regulator import LinearRegulator
 from repro.power.supply import PowerSystem
 from repro.power.wisp import WispPowerConstants, make_wisp_power_system
 from repro.sim import units
@@ -64,11 +67,8 @@ class BrownoutInjector:
             return
         self._remaining = None
         power: PowerSystem = self.device.power
-        if power.is_tethered:
-            return  # cannot brown out a tethered target
-        power.capacitor.voltage = power.brownout_voltage - 0.02
-        power.step(0.0)
-        self.injections += 1
+        if power.force_brownout():
+            self.injections += 1
 
     def remove(self) -> None:
         """Uninstall the hook from the device."""
@@ -100,5 +100,35 @@ def make_fast_target(
     c = constants or fast_wisp_constants()
     power = make_wisp_power_system(
         sim, constants=c, distance_m=distance_m, fading_sigma=fading_sigma
+    )
+    return TargetDevice(sim, power, constants=c)
+
+
+def make_bench_target(
+    sim: Simulator,
+    constants: WispPowerConstants | None = None,
+    supply_current: float = 5.0 * units.MA,
+) -> TargetDevice:
+    """A bench-supplied target that never browns out organically.
+
+    The strong constant-current source out-supplies the active draw, so
+    the *only* power failures are the ones an injector forces — the
+    substrate for replaying an exact reboot schedule (the campaign
+    shrinker's emulated-intermittence mode, in the spirit of §4.2's
+    charge/discharge emulation).  After a forced brown-out the capacitor
+    recharges to turn-on in microseconds, keeping replays fast.
+    """
+    c = constants or fast_wisp_constants()
+    power = PowerSystem(
+        sim=sim,
+        source=ConstantCurrentSource(current_a=supply_current),
+        capacitor=StorageCapacitor(
+            capacitance=c.capacitance,
+            voltage=c.turn_on_voltage,
+            max_voltage=3.3,
+        ),
+        regulator=LinearRegulator(),
+        turn_on_voltage=c.turn_on_voltage,
+        brownout_voltage=c.brownout_voltage,
     )
     return TargetDevice(sim, power, constants=c)
