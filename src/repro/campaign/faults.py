@@ -272,6 +272,12 @@ class StateCorruptor:
             region = self.device.memory.region_at(address, 1)
             region.write_u8(address, region.read_u8(address) ^ (1 << bit))
             self.applied.append((address, bit))
+        if self.applied:
+            # Region-level writes bypass the map observers on purpose
+            # (the commit-boundary trigger must not count decay), so the
+            # CPU's decoded-instruction cache is told explicitly — a
+            # flip could land in code bytes.
+            self.device.cpu.invalidate_decode_cache()
 
     def remove(self) -> None:
         """Uninstall the hook."""

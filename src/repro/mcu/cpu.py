@@ -67,6 +67,16 @@ class Cpu:
         self.on_mark: Callable[[int], None] | None = None
         self.instructions_retired = 0
         self.halted = False
+        # Decoded-instruction cache: PC -> (instruction, size, cycles).
+        # FRAM-resident code is decoded once per image instead of once
+        # per retirement.  Invalidation rides the map's write observers
+        # (every map-level store, plus whole-region notifications from
+        # ``clear_volatile``); code paths that mutate memory behind the
+        # map's back must call :meth:`invalidate_decode_cache`.
+        self._decode_cache: dict[int, tuple[Instruction, int, int]] = {}
+        self._cache_lo = 0  # lowest byte address any cached encoding covers
+        self._cache_hi = 0  # one past the highest (lo == hi means empty)
+        memory.write_observers.append(self._on_memory_write)
 
     # -- register/flag helpers ---------------------------------------------
     @property
@@ -105,6 +115,19 @@ class Cpu:
         self.registers[SR] = sr
         return result
 
+    # -- decoded-instruction cache ---------------------------------------------
+    def invalidate_decode_cache(self) -> None:
+        """Drop every cached decode (call after out-of-band code edits)."""
+        self._decode_cache.clear()
+        self._cache_lo = self._cache_hi = 0
+
+    def _on_memory_write(self, address: int, width: int) -> None:
+        # One range overlap test per store; a hit wipes the whole cache
+        # (self-modifying code is rare enough that precision would cost
+        # more than it saves).
+        if self._decode_cache and address < self._cache_hi and address + width > self._cache_lo:
+            self.invalidate_decode_cache()
+
     # -- reset / power cycle -------------------------------------------------
     def reset(self, entry: int) -> None:
         """Power-on reset: clear all registers, PC = entry, SP = top of SRAM."""
@@ -131,7 +154,9 @@ class Cpu:
         address = self._operand_address(operand)
         region = self.memory.region_at(address, 2)
         self.spend(region.read_cycles)
-        return self.memory.read_u16(address)
+        # Read through the region directly: the map-level accessor would
+        # only repeat the region lookup (reads have no observers).
+        return region.read_u16(address)
 
     def _write_operand(self, operand, value: int) -> None:
         if operand.mode is Mode.REG:
@@ -143,13 +168,24 @@ class Cpu:
         self.memory.write_u16(address, value)
 
     # -- stack ----------------------------------------------------------------
+    #
+    # Stack traffic is memory traffic: PUSH/POP/CALL/RET charge the
+    # destination region's access cycles through ``spend`` exactly like
+    # an equivalent MOV would, so stack-heavy code is not energy-free
+    # relative to the same data movement through ``_write_operand``.
     def _push(self, value: int) -> None:
         self.sp = self.sp - 2
-        self.memory.write_u16(self.sp, value)
+        address = self.sp
+        region = self.memory.region_at(address, 2)
+        self.spend(region.write_cycles)
+        self.memory.write_u16(address, value)
 
     def _pop(self) -> int:
-        value = self.memory.read_u16(self.sp)
-        self.sp = self.sp + 2
+        address = self.sp
+        region = self.memory.region_at(address, 2)
+        self.spend(region.read_cycles)
+        value = region.read_u16(address)
+        self.sp = address + 2
         return value
 
     # -- execution ---------------------------------------------------------------
@@ -162,9 +198,23 @@ class Cpu:
         """
         if self.halted:
             raise Halted("CPU is halted")
-        instruction, size = decode(self.memory.read_u16, self.pc)
-        self.spend(instruction.cycles())
-        next_pc = (self.pc + size) & WORD_MASK
+        pc = self.registers[PC]
+        cached = self._decode_cache.get(pc)
+        if cached is None:
+            instruction, size = decode(self.memory.read_u16, pc)
+            cached = (instruction, size, instruction.cycles())
+            self._decode_cache[pc] = cached
+            end = pc + size
+            if self._cache_lo == self._cache_hi:  # first entry
+                self._cache_lo, self._cache_hi = pc, end
+            else:
+                if pc < self._cache_lo:
+                    self._cache_lo = pc
+                if end > self._cache_hi:
+                    self._cache_hi = end
+        instruction, size, cycles = cached
+        self.spend(cycles)
+        next_pc = (pc + size) & WORD_MASK
         self._execute(instruction, next_pc)
         self.instructions_retired += 1
         return instruction

@@ -74,6 +74,13 @@ class TargetDevice:
         self.power = power
         self.constants = constants or WispPowerConstants()
         self.memory = memory or make_msp430_memory_map()
+        # Hot-path constants, hoisted out of execute_cycles.  The static
+        # current is the same left-to-right sum the inline expression
+        # performed, so downstream float arithmetic is unchanged.
+        self._cycle_time = self.constants.cycle_time
+        self._static_current = (
+            self.constants.active_current + self.constants.system_current
+        )
 
         self.gpio = GpioPort(sim)
         self.gpio.add_pin("led", load_current=self.constants.led_current)
@@ -139,10 +146,9 @@ class TargetDevice:
         if self.stop_after is not None and self.sim.now >= self.stop_after:
             raise ExecutionLimit(f"deadline {self.stop_after:.6f} s reached")
         self._check_power()
-        dt = cycles * self.constants.cycle_time
+        dt = cycles * self._cycle_time
         current = (
-            self.constants.active_current
-            + self.constants.system_current
+            self._static_current
             + self.gpio.total_load_current()
             + extra_current
         )
@@ -172,18 +178,34 @@ class TargetDevice:
         self.execute_cycles(cycles, extra_current=extra_current)
 
     def sleep(self, seconds: float) -> None:
-        """Low-power sleep: time passes at the sleep current."""
+        """Low-power sleep: time passes at the sleep current.
+
+        Sleep is work like any other: the energy drawn at the sleep
+        current lands in :attr:`energy_consumed`, and the post-work
+        hooks run afterwards — an attached debugger's energy
+        breakpoints must fire whether the device burned the energy
+        computing or dozing.
+        """
         if self.stop_after is not None and self.sim.now >= self.stop_after:
             raise ExecutionLimit(f"deadline {self.stop_after:.6f} s reached")
         self._check_power()
+        energy_before = self.power.capacitor.energy
         self.sim.advance(seconds)
         powered = self.power.step(seconds, self.constants.sleep_current)
+        self.energy_consumed += max(0.0, energy_before - self.power.capacitor.energy)
         if not powered:
             raise PowerFailure(
                 f"brown-out during sleep at {self.sim.now * 1e3:.3f} ms",
                 vcap=self.power.vcap,
                 at=self.sim.now,
             )
+        if self.post_work_hooks and not self._in_hook:
+            self._in_hook = True
+            try:
+                for hook in self.post_work_hooks:
+                    hook()
+            finally:
+                self._in_hook = False
 
     # -- code markers (EDB program-event monitoring) ----------------------------
     def code_marker(self, marker_id: int) -> None:
@@ -197,13 +219,19 @@ class TargetDevice:
             raise ValueError(
                 f"marker id {marker_id} out of range 1..{self.max_marker_id}"
             )
-        for bit, line in enumerate(self.marker_lines):
-            line.drive(bool(marker_id & (1 << bit)))
-        self.execute_cycles(1)
-        for hook in self.on_code_marker:
-            hook(marker_id)
-        for line in self.marker_lines:
-            line.drive(False)
+        # The release must survive a brown-out inside the one-cycle
+        # pulse: without the finally, a PowerFailure raised by the spend
+        # leaves the lines driven high until the next reboot, and the
+        # debugger would read a phantom marker while the target is dark.
+        try:
+            for bit, line in enumerate(self.marker_lines):
+                line.drive(bool(marker_id & (1 << bit)))
+            self.execute_cycles(1)
+            for hook in self.on_code_marker:
+                hook(marker_id)
+        finally:
+            for line in self.marker_lines:
+                line.drive(False)
 
     def _cpu_mark(self, marker_id: int) -> None:
         self.code_marker(marker_id)

@@ -44,6 +44,10 @@ class GpioPort:
         self.sim = sim
         self.trace_channel = trace_channel
         self._pins: dict[str, Pin] = {}
+        # total_load_current() is on the per-instruction hot path but
+        # only changes on pin edges, which are rare by comparison — so
+        # the sum is cached and edges invalidate it.
+        self._load_current_cache: float | None = None
 
     def add_pin(self, name: str, load_current: float = 0.0) -> Pin:
         """Declare a pin; returns the :class:`Pin` record."""
@@ -51,6 +55,7 @@ class GpioPort:
             raise ValueError(f"pin {name!r} already exists")
         pin = Pin(name=name, load_current=load_current)
         self._pins[name] = pin
+        self._load_current_cache = None
         return pin
 
     def pin(self, name: str) -> Pin:
@@ -66,6 +71,7 @@ class GpioPort:
             return
         pin.state = state
         pin.toggles += 1
+        self._load_current_cache = None
         self.sim.trace.record(f"{self.trace_channel}.{name}", state)
         for listener in pin.listeners:
             listener(name, state)
@@ -84,7 +90,13 @@ class GpioPort:
 
     def total_load_current(self) -> float:
         """Sum of load currents of all pins currently driven high."""
-        return sum(p.load_current for p in self._pins.values() if p.state)
+        total = self._load_current_cache
+        if total is None:
+            # The identical sum expression as before caching, so the
+            # accumulated value is bit-for-bit the historical one.
+            total = sum(p.load_current for p in self._pins.values() if p.state)
+            self._load_current_cache = total
+        return total
 
     def reset(self) -> None:
         """Drive all pins low (power-on reset state)."""

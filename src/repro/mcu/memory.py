@@ -148,6 +148,11 @@ class MemoryRegion:
 class MemoryMap:
     """The full address space: an ordered set of non-overlapping regions."""
 
+    #: Page granularity of the precomputed address→region table (2^8 =
+    #: 256 bytes).  Pages that straddle a region boundary are left out
+    #: and fall through to the linear scan.
+    PAGE_SHIFT = 8
+
     def __init__(self, regions: Iterable[MemoryRegion]) -> None:
         self.regions = sorted(regions, key=lambda r: r.base)
         for a, b in zip(self.regions, self.regions[1:]):
@@ -161,6 +166,21 @@ class MemoryMap:
         # fault injector watches FRAM traffic here; observers must not
         # themselves touch target memory.
         self.write_observers: list = []
+        # Region-lookup acceleration: a last-hit cache plus a page
+        # table covering every page that lies entirely inside one
+        # region.  Both only ever *shortcut* the linear scan — fault
+        # semantics for unmapped/straddling accesses are unchanged.
+        self._last_region: MemoryRegion | None = None
+        shift = self.PAGE_SHIFT
+        page_size = 1 << shift
+        self._page_table: dict[int, MemoryRegion] = {}
+        for region in self.regions:
+            first = region.base >> shift
+            last = (region.end - 1) >> shift
+            for page in range(first, last + 1):
+                start = page << shift
+                if start >= region.base and start + page_size <= region.end:
+                    self._page_table[page] = region
 
     def _notify_write(self, address: int, width: int) -> None:
         for hook in self.write_observers:
@@ -179,10 +199,24 @@ class MemoryMap:
         """The region mapping ``[address, address+width)``.
 
         Raises :class:`MemoryFault` for unmapped addresses — including
-        address 0, so NULL-pointer dereferences fault here.
+        address 0, so NULL-pointer dereferences fault here.  The lookup
+        is O(1) on the hot path: the last-hit region, then the page
+        table, then the full scan only for misses and faults.
         """
+        region = self._last_region
+        if (
+            region is not None
+            and region.base <= address
+            and address + width <= region.end
+        ):
+            return region
+        region = self._page_table.get(address >> self.PAGE_SHIFT)
+        if region is not None and address + width <= region.end:
+            self._last_region = region
+            return region
         for region in self.regions:
             if region.contains(address, width):
+                self._last_region = region
                 return region
         raise MemoryFault(
             f"access of {width} byte(s) at unmapped address 0x{address:04X}",
@@ -218,10 +252,19 @@ class MemoryMap:
         self._notify_write(address, len(data))
 
     def clear_volatile(self) -> None:
-        """Clear every volatile region (reboot semantics)."""
+        """Clear every volatile region (reboot semantics).
+
+        The wipe is reported to the write observers as one whole-region
+        store, so caches keyed on memory contents (e.g. the CPU's
+        decoded-instruction cache) see volatile code vanish.  Observers
+        that filter by address range (the commit-boundary injector
+        watches FRAM only) are unaffected: volatile regions are by
+        definition not FRAM.
+        """
         for region in self.regions:
             if region.volatile:
                 region.clear()
+                self._notify_write(region.base, region.size)
 
 
 def make_msp430_memory_map() -> MemoryMap:

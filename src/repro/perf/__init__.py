@@ -1,0 +1,21 @@
+"""Performance benchmark harness (``python -m repro.perf``).
+
+See :mod:`repro.perf.harness` for the benchmarks and ``docs/PERF.md``
+for the measurement protocol and the caching design they guard.
+"""
+
+from repro.perf.harness import (
+    BenchResult,
+    bench_campaign,
+    bench_charge_discharge,
+    bench_isa_throughput,
+    run_all,
+)
+
+__all__ = [
+    "BenchResult",
+    "bench_campaign",
+    "bench_charge_discharge",
+    "bench_isa_throughput",
+    "run_all",
+]

@@ -1,0 +1,142 @@
+"""CLI for the perf harness.
+
+Examples::
+
+    python -m repro.perf                         # run, write BENCH_perf.json
+    python -m repro.perf --check                 # fail on >30% regression
+    python -m repro.perf --write-baseline        # refresh the committed baseline
+    python -m repro.perf --scale 0.05            # quick smoke run
+
+The output JSON is machine-readable: per-benchmark throughput plus, when
+a baseline or a ``--before`` snapshot is available, the speedup ratios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+from repro.perf.harness import run_all
+
+#: Allowed slowdown versus the committed baseline before --check fails.
+REGRESSION_TOLERANCE = 0.30
+
+DEFAULT_BASELINE = Path("benchmarks") / "perf_baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Benchmark the simulator hot paths.",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload-size multiplier (default 1.0)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="repetitions per benchmark; the fastest is kept (default 1)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_perf.json",
+        help="output JSON path (default BENCH_perf.json in the CWD)",
+    )
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE),
+        help="committed baseline JSON for --check / ratio reporting",
+    )
+    parser.add_argument(
+        "--before", default=None,
+        help="optional pre-optimisation snapshot to embed as 'before'",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help=f"exit non-zero if any metric regresses more than "
+             f"{REGRESSION_TOLERANCE:.0%} against the baseline",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="also write the results to the baseline path",
+    )
+    return parser
+
+
+def _load_results(path: str | Path) -> dict | None:
+    path = Path(path)
+    if not path.exists():
+        return None
+    data = json.loads(path.read_text())
+    return data.get("results", data)
+
+
+def _ratios(current: dict, reference: dict | None) -> dict:
+    if not reference:
+        return {}
+    ratios = {}
+    for name, result in current.items():
+        ref = reference.get(name)
+        if ref and ref.get("value"):
+            ratios[name] = result["value"] / ref["value"]
+    return ratios
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    results = {
+        name: r.to_dict() for name, r in
+        run_all(scale=args.scale, repeats=args.repeats).items()
+    }
+    baseline = _load_results(args.baseline)
+    before = _load_results(args.before) if args.before else None
+    payload = {
+        "schema": 1,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+    if before is not None:
+        payload["before"] = before
+        payload["speedup_vs_before"] = _ratios(results, before)
+    if baseline is not None:
+        payload["vs_baseline"] = _ratios(results, baseline)
+
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    for name, result in sorted(results.items()):
+        line = f"{name:>18}: {result['value']:>12.1f} {result['unit']}"
+        if name in payload.get("vs_baseline", {}):
+            line += f"  ({payload['vs_baseline'][name]:.2f}x baseline)"
+        print(line)
+    print(f"wrote {out}")
+
+    if args.write_baseline:
+        base_path = Path(args.baseline)
+        base_path.parent.mkdir(parents=True, exist_ok=True)
+        base_path.write_text(
+            json.dumps({"schema": 1, "results": results},
+                       sort_keys=True, indent=2) + "\n"
+        )
+        print(f"wrote baseline {base_path}")
+
+    if args.check:
+        if baseline is None:
+            print(f"error: no baseline at {args.baseline}", file=sys.stderr)
+            return 2
+        failures = []
+        for name, ratio in _ratios(results, baseline).items():
+            if ratio < 1.0 - REGRESSION_TOLERANCE:
+                failures.append(f"{name}: {ratio:.2f}x of baseline")
+        if failures:
+            print("perf regression: " + "; ".join(failures), file=sys.stderr)
+            return 1
+        print("perf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

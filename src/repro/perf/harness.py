@@ -1,0 +1,182 @@
+"""Benchmark harness for the simulation hot paths.
+
+Three benchmarks cover the three layers that dominate campaign wall
+time, per the profile that motivated the PR-2 hot-path work:
+
+- ``isa_throughput`` — the per-instruction loop: fetch/decode/execute
+  plus the work→time+energy conversion, on a bench supply that never
+  browns out (so the number is pure interpreter speed);
+- ``charge_discharge`` — the intermittent duty cycle: organic charging
+  to turn-on followed by discharging to brown-out, which exercises the
+  power system's charging fast path;
+- ``campaign`` — a small end-to-end fault-injection campaign (the PR-1
+  engine), the unit the fleet multiplies by hundreds.
+
+Every benchmark reports a *higher-is-better* throughput value, so the
+regression check is a single ratio per metric.  Wall-clock timing
+(:func:`time.perf_counter`) lives only here — simulated results remain
+deterministic; only the timings vary across hosts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.campaign.config import CampaignConfig
+from repro.campaign.scheduler import run_campaign
+from repro.mcu.assembler import assemble
+from repro.mcu.device import PowerFailure
+from repro.sim.kernel import Simulator
+from repro.testing import make_bench_target, make_fast_target
+
+#: A tight loop mixing the operand classes the decode cache must cover:
+#: register/immediate ALU, absolute loads/stores (FRAM), and stack ops.
+ISA_LOOP_SOURCE = """
+        .org 0xA000
+buf:    .word 0
+start:  mov #0, r4
+loop:   add #1, r4
+        mov r4, &buf
+        mov &buf, r5
+        push r5
+        pop r6
+        xor r5, r6
+        cmp #0, r4
+        jnz loop
+        halt
+"""
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's outcome: a named higher-is-better throughput."""
+
+    name: str
+    value: float
+    unit: str
+    wall_s: float
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "wall_s": self.wall_s,
+            "detail": self.detail,
+        }
+
+
+def bench_isa_throughput(instructions: int = 60_000) -> BenchResult:
+    """Instruction retirement rate on a bench supply (no brown-outs)."""
+    sim = Simulator(seed=7)
+    target = make_bench_target(sim)
+    program = assemble(ISA_LOOP_SOURCE)
+    target.load_program(program)
+    step = target.cpu.step
+    # Warm-up: one loop body, outside the timed window.
+    for _ in range(16):
+        step()
+    t0 = time.perf_counter()
+    for _ in range(instructions):
+        step()
+    wall = time.perf_counter() - t0
+    retired = target.cpu.instructions_retired
+    return BenchResult(
+        name="isa_throughput",
+        value=instructions / wall if wall > 0 else float("inf"),
+        unit="instructions/s",
+        wall_s=wall,
+        detail={
+            "instructions": instructions,
+            "retired_total": retired,
+            "cycles_executed": target.cycles_executed,
+            "sim_time_s": sim.now,
+        },
+    )
+
+
+def bench_charge_discharge(cycles: int = 12) -> BenchResult:
+    """Full charge/discharge cycles per wall second on a fast target.
+
+    Deterministic harvesting (no fading) so the charging fast path gets
+    its longest batches; the discharge leg burns real instruction-sized
+    work units until the organic brown-out.
+    """
+    sim = Simulator(seed=11)
+    target = make_fast_target(sim, distance_m=1.6, fading_sigma=0.0)
+    completed = 0
+    sim_start = sim.now
+    t0 = time.perf_counter()
+    for _ in range(cycles):
+        target.power.charge_until_on()
+        try:
+            while True:
+                target.execute_cycles(64)
+        except PowerFailure:
+            completed += 1
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name="charge_discharge",
+        value=completed / wall if wall > 0 else float("inf"),
+        unit="cycles/s",
+        wall_s=wall,
+        detail={
+            "cycles": completed,
+            "sim_time_s": sim.now - sim_start,
+            "reboots": target.power.reboots,
+        },
+    )
+
+
+def bench_campaign(runs: int = 6) -> BenchResult:
+    """End-to-end campaign runs per wall second (inline, one worker)."""
+    config = CampaignConfig(
+        app="linked_list",
+        runs=runs,
+        seed=1234,
+        workers=1,
+        duration=0.5,
+        shrink=False,
+        capture=False,
+    )
+    t0 = time.perf_counter()
+    report = run_campaign(config)
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name="campaign",
+        value=runs / wall if wall > 0 else float("inf"),
+        unit="runs/s",
+        wall_s=wall,
+        detail={
+            "runs": runs,
+            "diverged": report["summary"]["diverged"],
+            "agree": report["summary"]["agree"],
+        },
+    )
+
+
+def run_all(scale: float = 1.0, repeats: int = 1) -> dict[str, BenchResult]:
+    """Run every benchmark; keep the best (fastest) of ``repeats``.
+
+    ``scale`` multiplies each benchmark's workload size — the
+    ``perf_smoke`` test uses a small scale to keep the suite fast.
+    """
+    if scale <= 0.0:
+        raise ValueError(f"scale must be positive (got {scale})")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1 (got {repeats})")
+    plans = [
+        lambda: bench_isa_throughput(max(500, int(60_000 * scale))),
+        lambda: bench_charge_discharge(max(2, int(12 * scale))),
+        lambda: bench_campaign(max(1, int(6 * scale))),
+    ]
+    results: dict[str, BenchResult] = {}
+    for plan in plans:
+        best: BenchResult | None = None
+        for _ in range(repeats):
+            result = plan()
+            if best is None or result.value > best.value:
+                best = result
+        results[best.name] = best
+    return results

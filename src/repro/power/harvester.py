@@ -34,7 +34,20 @@ from repro.sim.rng import RngHub
 
 
 class EnergySource(Protocol):
-    """Thevenin view of an energy source at a given simulated time."""
+    """Thevenin view of an energy source at a given simulated time.
+
+    Sources may additionally implement the *optional* extension::
+
+        def hold_until(self, t: float) -> float: ...
+
+    returning a time strictly after ``t`` up to (but excluding) which
+    ``open_circuit_voltage``/``source_resistance`` are guaranteed to
+    return the same values as at ``t`` — and to do so without mutating
+    any internal state (no fading redraws, no RNG consumption).  The
+    power system's charging fast path batches steps only inside such a
+    window; sources without ``hold_until`` are never batched over.
+    Returning ``t`` itself means "no guarantee right now".
+    """
 
     def open_circuit_voltage(self, t: float) -> float:
         """Open-circuit voltage ``Voc`` in volts at time ``t``."""
@@ -53,6 +66,10 @@ class NullSource:
 
     def source_resistance(self, t: float) -> float:
         return 1.0 * units.MOHM
+
+    def hold_until(self, t: float) -> float:
+        """Conditions never change."""
+        return math.inf
 
 
 class ConstantCurrentSource:
@@ -73,6 +90,10 @@ class ConstantCurrentSource:
 
     def source_resistance(self, t: float) -> float:
         return self.compliance_v / self.current_a
+
+    def hold_until(self, t: float) -> float:
+        """Conditions never change."""
+        return math.inf
 
 
 class RFHarvester:
@@ -146,6 +167,11 @@ class RFHarvester:
         self._fade_db = 0.0
         self._fade_until = -1.0
         self.enabled = True
+        # Base (pre-fading) power cache, keyed on the parameters it is
+        # computed from — campaigns retune distance between runs, so the
+        # key is checked on every call rather than assumed immutable.
+        self._base_power_key: tuple | None = None
+        self._base_power = 0.0
 
     def field_on(self, t: float) -> bool:
         """Whether the reader's RF field illuminates the tag at ``t``."""
@@ -158,9 +184,20 @@ class RFHarvester:
         """DC power available to the storage element, in watts."""
         if not self.enabled or not self.field_on(t):
             return 0.0
-        tx_watts = units.dbm_to_watts(self.tx_power_dbm)
-        received = tx_watts * self.reference_gain / (self.distance_m**2)
-        power = received * self.efficiency
+        key = (
+            self.tx_power_dbm,
+            self.reference_gain,
+            self.distance_m,
+            self.efficiency,
+        )
+        if key != self._base_power_key:
+            # Same expressions (and therefore the same rounding) as the
+            # historical per-call computation.
+            tx_watts = units.dbm_to_watts(self.tx_power_dbm)
+            received = tx_watts * self.reference_gain / (self.distance_m**2)
+            self._base_power = received * self.efficiency
+            self._base_power_key = key
+        power = self._base_power
         if self.fading_sigma > 0.0 and self._rng is not None:
             power *= 10.0 ** (self._fade_db_at(t) / 10.0)
         return power
@@ -181,6 +218,28 @@ class RFHarvester:
             return 1.0 * units.MOHM
         # Maximum power transfer: P_available = Voc^2 / (4 Rs).
         return self.open_voltage**2 / (4.0 * power)
+
+    def hold_until(self, t: float) -> float:
+        """Conditions hold until the next duty edge or fading redraw.
+
+        Strictly conservative: the returned time never exceeds the next
+        instant at which ``harvested_power`` could change value or draw
+        from the RNG.  If the fading coherence interval has already
+        lapsed (the next call would redraw), returns ``t`` itself so the
+        caller takes the slow path and the redraw lands exactly where
+        the stepped integration would have placed it.
+        """
+        hold = math.inf
+        if self.duty_period > 0.0 and self.duty_fraction < 1.0:
+            # Mirrors field_on(): phase < duty_fraction means lit.
+            base = t - (t % self.duty_period)
+            on_edge = base + self.duty_period * self.duty_fraction
+            hold = on_edge if t < on_edge else base + self.duty_period
+        if self.fading_sigma > 0.0 and self._rng is not None:
+            fade_hold = self._fade_until if self._fade_until > t else t
+            if fade_hold < hold:
+                hold = fade_hold
+        return hold
 
 
 class SolarHarvester:
@@ -216,6 +275,10 @@ class SolarHarvester:
         if power <= 0.0:
             return 1.0 * units.MOHM
         return self.open_voltage**2 / (4.0 * power)
+
+    def hold_until(self, t: float) -> float:
+        """Irradiance is a parameter, not a function of time."""
+        return math.inf
 
 
 class TraceDrivenSource:
@@ -256,6 +319,11 @@ class TraceDrivenSource:
     def source_resistance(self, t: float) -> float:
         return self.rs[self._index(t)]
 
+    def hold_until(self, t: float) -> float:
+        """The zero-order hold holds until the next trace sample."""
+        index = bisect.bisect_right(self.times, t)
+        return self.times[index] if index < len(self.times) else math.inf
+
 
 class TetheredSupply:
     """A stiff, continuous power supply (EDB's tether).
@@ -274,6 +342,10 @@ class TetheredSupply:
 
     def source_resistance(self, t: float) -> float:
         return self.resistance
+
+    def hold_until(self, t: float) -> float:
+        """A bench supply is stiff and constant."""
+        return math.inf
 
 
 def charge_step(

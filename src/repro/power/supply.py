@@ -21,6 +21,7 @@ energy state:
 from __future__ import annotations
 
 import enum
+import math
 from typing import Callable
 
 from repro.power.capacitor import StorageCapacitor
@@ -205,7 +206,10 @@ class PowerSystem:
         self.step(dt, load_current=0.0)
 
     def charge_until_on(
-        self, step_dt: float = 100 * units.US, timeout: float = 10.0
+        self,
+        step_dt: float = 100 * units.US,
+        timeout: float = 10.0,
+        batch: bool = True,
     ) -> float:
         """Simulate the off period until the turn-on threshold is reached.
 
@@ -215,6 +219,17 @@ class PowerSystem:
         source cannot reach the threshold within ``timeout`` seconds —
         which happens when debugging instrumentation (or a broken app)
         out-draws the harvester.
+
+        The charge is normally fast-forwarded analytically: instead of
+        paying the full per-step machinery every 100 us, the RC curve is
+        replayed on the same time grid in pure local arithmetic and the
+        clock jumps straight to the turn-on crossing, clamped to the
+        next scheduled event and to any change in source conditions (a
+        fading redraw, a duty edge) so nothing fires late.  The replay
+        is *bit-exact* with respect to the stepped integration — that is
+        the campaign engine's byte-identical-report contract.  ``batch``
+        exists as a verification escape hatch: ``batch=False`` forces
+        the historical one-``idle_step``-per-iteration path.
         """
         start = self.sim.now
         while not self.is_on:
@@ -226,9 +241,96 @@ class PowerSystem:
                     f"{timeout:.2f} s of charging (turn-on is "
                     f"{self.turn_on_voltage:.2f} V)"
                 )
-            self.sim.advance(step_dt)
-            self.idle_step(step_dt)
+            if not batch or not self._charge_fast_forward(
+                step_dt, start, timeout
+            ):
+                self.sim.advance(step_dt)
+                self.idle_step(step_dt)
         return self.sim.now - start
+
+    def _charge_fast_forward(
+        self, step_dt: float, start: float, timeout: float
+    ) -> bool:
+        """Fast-forward whole charging steps; True if any were taken.
+
+        Replays the exact arithmetic of ``idle_step`` (regulator draw,
+        :func:`charge_step`, clamping, leakage) on the exact time grid
+        (``now`` advanced by repeated ``+ step_dt``), but only inside a
+        window where nothing can observe or perturb the trajectory:
+        strictly before the next scheduled event and strictly before the
+        source's conditions may change (see ``hold_until``).  Anything
+        outside the window — an imminent event, a fading redraw, a duty
+        edge, a degenerate voltage — falls back to the caller's
+        one-step-at-a-time path, which handles it exactly as before.
+        """
+        source = self._active_source()
+        hold_until = getattr(source, "hold_until", None)
+        if hold_until is None:
+            return False  # unknown source model: never batch over it
+        t0 = self.sim.now
+        bound = hold_until(t0)
+        next_event = self.sim.next_event_time()
+        if next_event < bound:
+            bound = next_event
+        if not bound > t0:  # also rejects a NaN bound
+            return False
+        cap = self.capacitor
+        v = cap.voltage
+        if v <= 0.0:
+            return False  # regulator cut-off edge: take the slow path
+        # Inside the window the source is constant and call-free, so
+        # sampling at t0 is the value every step would see.
+        voc = source.open_circuit_voltage(t0)
+        rs = source.source_resistance(t0)
+        net_load = self.regulator.input_current(v, 0.0) - self._injected_current
+        capacitance = cap.capacitance
+        vmax = cap.max_voltage
+        turn_on = self.turn_on_voltage
+        # Per-step constants, computed exactly as charge_step() and
+        # step_leakage() compute them (same expressions, same rounding).
+        tau = rs * capacitance
+        exp_charge = math.exp(-step_dt / tau)
+        v_inf = voc - net_load * rs
+        lin_delta = net_load * step_dt / capacitance
+        leak_r = cap.leakage_resistance
+        leak_factor = (
+            math.exp(-step_dt / (leak_r * capacitance))
+            if leak_r is not None
+            else 1.0
+        )
+        t = t0
+        steps = 0
+        while True:
+            next_t = t + step_dt
+            if next_t >= bound:
+                break
+            if t - start > timeout:
+                break  # outer loop re-checks and raises ChargingTimeout
+            if voc > v:
+                new_v = v_inf + (v - v_inf) * exp_charge
+            else:
+                new_v = v - lin_delta  # rectifier blocks: linear discharge
+            v = min(max(new_v, 0.0), vmax)
+            if leak_r is not None and v > 0.0:
+                v = min(max(v * leak_factor, 0.0), vmax)
+            t = next_t
+            steps += 1
+            if v >= turn_on or v <= 0.0:
+                break
+        if steps == 0:
+            return False
+        # Defence in depth against boundary rounding in hold_until():
+        # the source must still read back the sampled conditions at the
+        # end of the window, else discard the batch and replay slowly.
+        if (
+            source.open_circuit_voltage(t) != voc
+            or source.source_resistance(t) != rs
+        ):
+            return False
+        self.sim.advance_to(t)  # exact grid time; fires nothing by construction
+        cap.voltage = v
+        self._refresh_state()
+        return True
 
     def reset_comparator(self) -> None:
         """Re-evaluate the comparator from scratch (cold-start rules).

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -69,10 +70,40 @@ class Simulator:
         return self._now
 
     def advance(self, dt: float) -> None:
-        """Move time forward by ``dt`` seconds, firing due events."""
+        """Move time forward by ``dt`` seconds, firing due events.
+
+        The common case — the device burning one instruction's worth of
+        time with nothing scheduled inside the swept interval — takes a
+        fast path: one heap peek, one addition, no loop entry.  This is
+        the hottest function in the simulator (called once per retired
+        instruction), so the fast path is deliberately branch-minimal.
+        """
         if dt < 0.0:
             raise ValueError(f"cannot move time backwards (dt={dt})")
         deadline = self._now + dt
+        queue = self._queue
+        if not queue or queue[0].time > deadline:
+            self._now = deadline
+            return
+        self._sweep_to(deadline)
+
+    def advance_to(self, t: float) -> None:
+        """Advance the clock to exactly absolute time ``t``.
+
+        Unlike ``advance(t - now)``, the final clock value is ``t`` to
+        the last bit (no ``now + (t - now)`` rounding), which is what
+        the power system's batched charging relies on to reproduce the
+        stepped time grid exactly.
+        """
+        if t < self._now:
+            raise ValueError(f"cannot move time backwards ({t} < {self._now})")
+        queue = self._queue
+        if not queue or queue[0].time > t:
+            self._now = t
+            return
+        self._sweep_to(t)
+
+    def _sweep_to(self, deadline: float) -> None:
         while self._queue and self._queue[0].time <= deadline:
             event = heapq.heappop(self._queue)
             if event.cancelled:
@@ -89,6 +120,17 @@ class Simulator:
         """Advance the clock to absolute time ``t`` (no-op if in the past)."""
         if t > self._now:
             self.advance(t - self._now)
+
+    def next_event_time(self) -> float:
+        """Deadline of the earliest live event, or ``math.inf`` when idle.
+
+        Cancelled events sitting at the top of the heap are discarded on
+        the way (they would be skipped by ``advance`` anyway).
+        """
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        return queue[0].time if queue else math.inf
 
     # -- cooperative stop requests ---------------------------------------
     #
@@ -137,11 +179,16 @@ class Simulator:
         """Schedule ``callback`` to fire every ``period`` seconds.
 
         The first firing is at ``start`` (absolute) if given, otherwise
-        one full period from now.  Returns the :class:`Event`; call its
-        ``cancel()`` to stop the recurrence.
+        one full period from now.  ``start`` must not lie in the past —
+        the same guard :meth:`call_at` enforces.  Returns the
+        :class:`Event`; call its ``cancel()`` to stop the recurrence.
         """
         if period <= 0.0:
             raise ValueError(f"period must be positive (got {period})")
+        if start is not None and start < self._now:
+            raise ValueError(
+                f"cannot schedule in the past ({start} < {self._now})"
+            )
         first = start if start is not None else self._now + period
         event = Event(
             time=first, seq=next(self._seq), callback=callback, period=period
