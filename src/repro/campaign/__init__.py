@@ -25,6 +25,15 @@ See ``docs/CAMPAIGN.md`` for the full tour.
 
 from repro.campaign.apps import ADAPTERS, get_adapter
 from repro.campaign.config import FAULT_MODES, CampaignConfig
+from repro.campaign.errors import (
+    ERROR_KINDS,
+    BudgetError,
+    GuestFault,
+    HostFault,
+    RunError,
+    WorkerLost,
+    error_record,
+)
 from repro.campaign.faults import (
     CommitBoundaryTrigger,
     EnergyLevelTrigger,
@@ -34,10 +43,13 @@ from repro.campaign.faults import (
     StateCorruptor,
     plan_faults,
 )
+from repro.campaign.journal import JournalMismatch, JournalWriter, load_journal
 from repro.campaign.oracle import (
     AGREE,
     DIVERGED,
+    ERROR,
     INCONCLUSIVE,
+    NONTERMINATING,
     Observation,
     Verdict,
     compare,
@@ -45,6 +57,7 @@ from repro.campaign.oracle import (
 from repro.campaign.report import build_report, render_json, write_report
 from repro.campaign.runner import (
     execute_run,
+    execute_run_safe,
     replay_with_schedule,
     run_continuous_leg,
     run_intermittent_leg,
@@ -52,27 +65,42 @@ from repro.campaign.runner import (
 )
 from repro.campaign.scheduler import run_campaign
 from repro.campaign.shrinker import ddmin, shrink_schedule
+from repro.campaign.watchdog import RunWatchdog
 
 __all__ = [
     "ADAPTERS",
     "AGREE",
     "DIVERGED",
+    "ERROR",
+    "ERROR_KINDS",
     "INCONCLUSIVE",
+    "NONTERMINATING",
+    "BudgetError",
     "CampaignConfig",
     "CommitBoundaryTrigger",
     "EnergyLevelTrigger",
     "FAULT_MODES",
     "FaultPlan",
+    "GuestFault",
+    "HostFault",
+    "JournalMismatch",
+    "JournalWriter",
     "Observation",
     "RebootRecorder",
+    "RunError",
+    "RunWatchdog",
     "ScheduledBrownouts",
     "StateCorruptor",
     "Verdict",
+    "WorkerLost",
     "build_report",
     "compare",
     "ddmin",
+    "error_record",
     "execute_run",
+    "execute_run_safe",
     "get_adapter",
+    "load_journal",
     "plan_faults",
     "render_json",
     "replay_with_schedule",

@@ -203,10 +203,96 @@ class CounterAdapter:
         return [(api.nv_var(n), 2) for n in names]
 
 
+class _ChaosProgram:
+    """A guest that misbehaves on purpose, keyed by its run index.
+
+    Roles cycle with ``index % 5``:
+
+    - 0, 1 — behave: complete a tiny op-counter workload normally;
+    - 2 — **kill the worker**: ``os._exit`` mid-run, the way a segfault
+      or the OOM killer would take the process out (no unwinding, no
+      pickled exception — the pool just breaks);
+    - 3 — **hang burning cycles**: an infinite compute loop that never
+      completes; the cycle-budget watchdog (or, much later, the
+      duration deadline) is the only way out;
+    - 4 — **guest fault**: raise an exception the run loop does not
+      model.
+
+    Everything is a pure function of the run index, so a chaos
+    campaign's report is byte-identical across repetitions — including
+    its error records.
+    """
+
+    BEHAVE, COMPLETE, KILL_WORKER, HANG, RAISE = range(5)
+
+    def __init__(self, index: int, iterations: int) -> None:
+        self.role = index % 5
+        self.iterations = iterations
+
+    def flash(self, api: DeviceAPI) -> None:
+        api.device.memory.write_u16(api.nv_var("chaos.done"), 0)
+
+    def main(self, api: DeviceAPI) -> None:
+        if self.role == self.KILL_WORKER:
+            import os
+
+            os._exit(86)  # no atexit, no unwinding: the worker is gone
+        if self.role == self.HANG:
+            while True:  # burns simulated cycles forever
+                api.compute(50)
+        if self.role == self.RAISE:
+            raise RuntimeError("chaos guest fault (deliberate)")
+        addr = api.nv_var("chaos.done")
+        while True:
+            done = api.load_u16(addr)
+            api.branch()
+            if done >= self.iterations:
+                raise ProgramComplete(done)
+            api.compute(50)
+            api.store_u16(addr, done + 1)
+
+
+class ChaosAdapter:
+    """Adversarial engine-testing app: crashes, hangs, and faults.
+
+    Exists to exercise the *campaign engine's* supervision — watchdogs,
+    worker crash isolation, retry/quarantine — not to find
+    intermittence bugs.  Uses the optional ``prepare(config, index)``
+    adapter hook to learn which run it is building for.
+
+    Never run a chaos campaign with ``workers=1`` (or degraded-serial)
+    expectations of surviving role 2: an in-process ``os._exit`` takes
+    the host with it, which is exactly why the scheduler quarantines
+    suspect chunks instead of retrying them inline.
+    """
+
+    name = "chaos"
+    invariant_keys = ()
+
+    def __init__(self) -> None:
+        self._index = 0
+
+    def prepare(self, config, index: int) -> None:
+        self._index = index
+
+    def build(self, protect: bool, iterations: int) -> _ChaosProgram:
+        return _ChaosProgram(self._index, iterations)
+
+    def observe(self, program, api: DeviceAPI) -> dict:
+        return {
+            "role": program.role,
+            "done": int(api.device.memory.read_u16(api.nv_var("chaos.done"))),
+        }
+
+    def state_ranges(self, program, api: DeviceAPI) -> list[tuple[int, int]]:
+        return [(api.nv_var("chaos.done"), 2)]
+
+
 ADAPTERS = {
     LinkedListAdapter.name: LinkedListAdapter,
     FibonacciAdapter.name: FibonacciAdapter,
     CounterAdapter.name: CounterAdapter,
+    ChaosAdapter.name: ChaosAdapter,
 }
 
 

@@ -7,6 +7,11 @@ Example::
 
 Wall-clock timing is printed to the console but deliberately kept out
 of the JSON report, which must be byte-identical for identical seeds.
+
+Exit codes: 0 success; 1 divergence found under ``--fail-on-divergence``;
+2 usage error; 3 host-side failure records (``host_fault`` /
+``worker_lost``) in the report; 130 interrupted (a valid partial report
+and journal are still written first).
 """
 
 from __future__ import annotations
@@ -17,8 +22,16 @@ import time
 
 from repro.campaign.apps import get_adapter
 from repro.campaign.config import FAULT_MODES, CampaignConfig
+from repro.campaign.errors import HOST_SIDE_KINDS
+from repro.campaign.journal import JournalMismatch
 from repro.campaign.report import write_report
 from repro.campaign.scheduler import run_campaign
+
+EXIT_OK = 0
+EXIT_DIVERGED = 1
+EXIT_USAGE = 2
+EXIT_HOST_FAULT = 3
+EXIT_INTERRUPTED = 130
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,6 +73,31 @@ def build_parser() -> argparse.ArgumentParser:
                              "and embed the monitor context in the report")
     parser.add_argument("--chunk", type=int, default=defaults.chunk,
                         help="runs per work unit (0 = auto)")
+    parser.add_argument("--max-cycles", type=int, default=defaults.max_cycles,
+                        help="watchdog: simulated-cycle budget per leg, "
+                             "deterministic (0 = off; default: %(default)s)")
+    parser.add_argument("--max-wall", type=float, default=defaults.max_wall_s,
+                        metavar="SECONDS",
+                        help="watchdog: wall-clock budget per run, "
+                             "non-deterministic backstop (0 = off; "
+                             "default: %(default)s)")
+    parser.add_argument("--max-retries", type=int,
+                        default=defaults.max_retries,
+                        help="solo worker-loss failures before a run is "
+                             "quarantined (default: %(default)s)")
+    parser.add_argument("--retry-backoff", type=float,
+                        default=defaults.retry_backoff, metavar="SECONDS",
+                        help="base of the exponential retry backoff "
+                             "(default: %(default)s)")
+    parser.add_argument("--journal", metavar="PATH",
+                        help="journal completed chunks to PATH as they finish "
+                             "(crash-safe checkpoint for --resume)")
+    parser.add_argument("--resume", metavar="PATH",
+                        help="resume from a journal: skip its completed runs "
+                             "and keep appending to it")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="stop scheduling new runs after the first "
+                             "diverged or errored record (partial report)")
     parser.add_argument("--out", default="campaign_report.json",
                         help="report path (default: %(default)s)")
     parser.add_argument("--quiet", action="store_true",
@@ -72,6 +110,9 @@ def build_parser() -> argparse.ArgumentParser:
 def config_from_args(args: argparse.Namespace) -> CampaignConfig:
     """Translate parsed CLI arguments into a validated config."""
     get_adapter(args.app)  # fail fast with the list of known apps
+    if args.journal and args.resume:
+        raise ValueError("--journal and --resume are mutually exclusive "
+                         "(--resume keeps appending to its journal)")
     return CampaignConfig(
         app=args.app,
         runs=args.runs,
@@ -86,37 +127,35 @@ def config_from_args(args: argparse.Namespace) -> CampaignConfig:
         shrink_limit=args.shrink_limit,
         capture=args.capture,
         chunk=args.chunk,
+        max_cycles=args.max_cycles,
+        max_wall_s=args.max_wall,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
     )
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
-    try:
-        config = config_from_args(args)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-
-    def progress(done: int, total: int) -> None:
-        if not args.quiet:
-            print(f"\r  {done}/{total} runs", end="", file=sys.stderr, flush=True)
-
-    started = time.perf_counter()
-    report = run_campaign(config, progress=progress)
-    elapsed = time.perf_counter() - started
-    if not args.quiet:
-        print(file=sys.stderr)
-    path = write_report(args.out, report)
-
+def _print_summary(report: dict, config: CampaignConfig, elapsed: float,
+                   workers: int) -> None:
     summary = report["summary"]
     variant = "protected" if config.protect else "naive"
+    extras = ""
+    if summary["nonterminating"]:
+        extras += f", {summary['nonterminating']} nonterminating"
+    if summary["errors"]:
+        extras += f", {summary['errors']} errored"
     print(
         f"{config.app} ({variant}): {summary['runs']} runs in {elapsed:.1f}s "
-        f"({config.workers} worker{'s' if config.workers != 1 else ''}) — "
+        f"({workers} worker{'s' if workers != 1 else ''}) — "
         f"{summary['diverged']} diverged, {summary['agree']} agreed, "
-        f"{summary['inconclusive']} inconclusive"
+        f"{summary['inconclusive']} inconclusive{extras}"
     )
+    if report.get("partial"):
+        partial = report["partial"]
+        why = "interrupted" if partial["interrupted"] else "fail-fast"
+        print(
+            f"  PARTIAL ({why}): {partial['completed']}/{partial['total']} "
+            f"runs completed"
+        )
     for divergence in report["divergences"]:
         reboots = len(divergence["observed_schedule"])
         if "shrunk" not in divergence:
@@ -140,7 +179,55 @@ def main(argv: list[str] | None = None) -> int:
             f"  run {divergence['index']} [{divergence['plan']['mode']}] "
             f"{divergence['verdict']['reason']} — {where}"
         )
+    for error in report["errors"]:
+        print(
+            f"  run {error['index']} ERROR [{error['error']['kind']}] "
+            f"{error['error']['message']}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        config = config_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    def progress(done: int, total: int) -> None:
+        if not args.quiet:
+            print(f"\r  {done}/{total} runs", end="", file=sys.stderr, flush=True)
+
+    started = time.perf_counter()
+    try:
+        report = run_campaign(
+            config,
+            progress=progress,
+            journal_path=args.journal,
+            resume_from=args.resume,
+            fail_fast=args.fail_fast,
+        )
+    except JournalMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except FileNotFoundError as exc:
+        print(f"error: cannot resume: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    elapsed = time.perf_counter() - started
+    if not args.quiet:
+        print(file=sys.stderr)
+    path = write_report(args.out, report)
+
+    _print_summary(report, config, elapsed, config.workers)
     print(f"report: {path}")
-    if args.fail_on_divergence and summary["diverged"]:
-        return 1
-    return 0
+
+    partial = report.get("partial")
+    if partial and partial["interrupted"]:
+        return EXIT_INTERRUPTED
+    summary = report["summary"]
+    if any(k in HOST_SIDE_KINDS for k in summary["error_kinds"]):
+        return EXIT_HOST_FAULT
+    if summary["diverged"] and (args.fail_on_divergence or args.fail_fast):
+        return EXIT_DIVERGED
+    return EXIT_OK

@@ -65,6 +65,21 @@ class CampaignConfig:
         mode and embed the monitor context in the report.
     chunk:
         Work-unit size shipped to each worker process (0 = auto).
+    max_cycles:
+        Watchdog: simulated-cycle budget per execution leg (0 = off).
+        Deterministic — a fixed seed trips at the same instruction
+        every time, so reports stay byte-identical.
+    max_wall_s:
+        Watchdog: wall-clock budget, enforced per leg by a cheap
+        monotonic poll in the post-work hook and per run by a SIGALRM
+        alarm where available (0 = off).  Inherently non-deterministic;
+        use as a generous backstop, not a tuning knob.
+    max_retries:
+        Supervision: how many *solo* worker-loss failures a chunk may
+        accumulate before its runs are recorded as ``worker_lost``.
+    retry_backoff:
+        Supervision: base of the exponential backoff (seconds) slept
+        before retrying a chunk whose worker died.
     """
 
     app: str = "linked_list"
@@ -87,10 +102,14 @@ class CampaignConfig:
     shrink_limit: int = 3
     capture: bool = False
     chunk: int = 0
+    max_cycles: int = 0
+    max_wall_s: float = 0.0
+    max_retries: int = 3
+    retry_backoff: float = 0.05
 
     def __post_init__(self) -> None:
-        if self.runs < 1:
-            raise ValueError(f"runs must be >= 1 (got {self.runs})")
+        if self.runs < 0:
+            raise ValueError(f"runs must be >= 0 (got {self.runs})")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1 (got {self.workers})")
         if self.iterations < 1:
@@ -121,6 +140,16 @@ class CampaignConfig:
             raise ValueError(f"bad fading range {self.fading_range}")
         if not 0.0 <= self.duty_chance <= 1.0:
             raise ValueError(f"duty chance out of [0, 1]: {self.duty_chance}")
+        if self.max_cycles < 0:
+            raise ValueError(f"max_cycles must be >= 0 (got {self.max_cycles})")
+        if self.max_wall_s < 0.0:
+            raise ValueError(f"max_wall_s must be >= 0 (got {self.max_wall_s})")
+        if self.max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1 (got {self.max_retries})")
+        if self.retry_backoff < 0.0:
+            raise ValueError(
+                f"retry_backoff must be >= 0 (got {self.retry_backoff})"
+            )
 
     # -- (de)serialization ------------------------------------------------
     def to_dict(self) -> dict:

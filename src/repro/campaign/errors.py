@@ -1,0 +1,135 @@
+"""Structured error taxonomy for supervised campaign execution.
+
+A campaign must never lose a run index: whatever goes wrong — the
+guest program raising something the executor does not model, the
+campaign engine itself misbehaving, a watchdog budget expiring, or a
+worker process dying outright — the scheduler records exactly one
+structured record for that index and keeps going.  The taxonomy is the
+vocabulary those records use:
+
+``guest_fault``
+    The simulated application (or the simulation of it) raised an
+    exception the run loop does not model.  The bug is on the guest
+    side of the fence; the rest of the campaign is unaffected.
+``host_fault``
+    The campaign engine itself failed outside guest execution —
+    planning, observation plumbing, record assembly.  These are *our*
+    bugs; the CLI exits non-zero when any is present.
+``budget_exceeded``
+    A watchdog budget (simulated cycles or wall clock) expired outside
+    a leg's own handling — e.g. a wall-clock alarm fired during the
+    oracle or observation phase.  (A budget expiring *inside* a leg is
+    handled more precisely: the leg ends with a ``nonterminating``
+    status and the oracle rules ``NONTERMINATING``.)
+``worker_lost``
+    The worker process executing this run died (segfault, OOM kill,
+    ``os._exit``) and retries with backoff plus chunk splitting
+    quarantined the failure down to this index.
+
+Error records are **deterministic** for a fixed seed: messages carry
+exception types and text, never wall-clock times, PIDs, or memory
+addresses, so a report containing error records is still byte-identical
+across repetitions.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.config import CampaignConfig
+from repro.campaign.oracle import ERROR
+from repro.sim.rng import derive_seed
+
+#: The four ways a run can fail outside the oracle's vocabulary.
+GUEST_FAULT = "guest_fault"
+HOST_FAULT = "host_fault"
+BUDGET_EXCEEDED = "budget_exceeded"
+WORKER_LOST = "worker_lost"
+
+ERROR_KINDS = (GUEST_FAULT, HOST_FAULT, BUDGET_EXCEEDED, WORKER_LOST)
+
+#: Error kinds that indicate the *engine* (not the workload) failed.
+#: Their presence makes the CLI exit non-zero unconditionally.
+HOST_SIDE_KINDS = (HOST_FAULT, WORKER_LOST)
+
+
+class RunError(Exception):
+    """Base of the taxonomy; every subclass pins its ``kind``."""
+
+    kind = HOST_FAULT
+
+    def __init__(self, message: str, detail: str | None = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.detail = detail
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for the run record."""
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def wrap(cls, exc: BaseException, detail: str | None = None) -> "RunError":
+        """Fold an arbitrary exception into this taxonomy entry.
+
+        Already-classified errors pass through unchanged so a guest
+        fault is never re-labelled a host fault by an outer guard.
+        """
+        if isinstance(exc, RunError):
+            return exc
+        return cls(f"{type(exc).__name__}: {exc}", detail=detail)
+
+
+class GuestFault(RunError):
+    """The simulated application failed in a way the run loop does not model."""
+
+    kind = GUEST_FAULT
+
+
+class HostFault(RunError):
+    """The campaign engine failed outside guest execution."""
+
+    kind = HOST_FAULT
+
+
+class BudgetError(RunError):
+    """A watchdog budget expired outside a leg's own handling."""
+
+    kind = BUDGET_EXCEEDED
+
+
+class WorkerLost(RunError):
+    """The worker process executing this run died."""
+
+    kind = WORKER_LOST
+
+
+def error_record(
+    config: CampaignConfig,
+    index: int,
+    error: RunError,
+    plan: dict | None = None,
+) -> dict:
+    """One complete, report-ready record for a run that never finished.
+
+    The record has the same top-level keys as a normal run record so
+    the report builder, the summary, and downstream consumers never
+    need to special-case its shape — leg observations are simply
+    ``None`` and the verdict is the conservative ``error``.
+    """
+    return {
+        "index": index,
+        "seed": derive_seed(config.seed, "run", index),
+        "plan": plan,
+        "injected_reboots": 0,
+        "observed_schedule": [],
+        "intermittent": None,
+        "continuous": None,
+        "error": error.to_dict(),
+        "verdict": {
+            "verdict": ERROR,
+            "reason": f"{error.kind}: {error.message}",
+            "diff": {},
+        },
+    }

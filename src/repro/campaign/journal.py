@@ -1,0 +1,125 @@
+"""Checkpoint journal: crash-safe incremental persistence of run records.
+
+The journal is a JSON-lines file the scheduler appends to as chunks
+finish: a header line pinning the config, then one line per completed
+chunk carrying its records.  Because every line is written and flushed
+atomically-enough (a single ``write`` + ``flush`` of one ``\\n``-
+terminated line), a campaign killed at any instant leaves a journal
+whose complete lines are all valid — the half-written tail line, if
+any, is simply discarded on load.
+
+``--resume <journal>`` replays the journal's records instead of
+re-executing their runs, re-chunks only the missing indices, and keeps
+appending to the same file.  Records are deterministic for a fixed
+seed, so a resumed campaign's final report is byte-identical to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+from repro.campaign.config import CampaignConfig
+
+JOURNAL_FORMAT = 1
+
+#: Config keys that do not influence record content — a resume may
+#: legitimately change them (more workers, different chunking, a
+#: different retry posture).  Everything else must match exactly.
+_EXECUTION_ONLY_KEYS = frozenset(
+    {"workers", "chunk", "max_retries", "retry_backoff"}
+)
+
+
+class JournalMismatch(ValueError):
+    """The journal being resumed belongs to a different campaign."""
+
+
+def _record_relevant(config_dict: dict) -> dict:
+    return {
+        k: v for k, v in config_dict.items() if k not in _EXECUTION_ONLY_KEYS
+    }
+
+
+class JournalWriter:
+    """Appends chunk-completion lines to a journal file."""
+
+    def __init__(self, path: str | Path, config: CampaignConfig,
+                 fresh: bool = True) -> None:
+        self.path = Path(path)
+        self._file: IO[str]
+        if fresh:
+            self._file = self.path.open("w")
+            self._write_line(
+                {"journal": JOURNAL_FORMAT, "config": config.to_dict()}
+            )
+        else:
+            self._file = self.path.open("a")
+
+    def _write_line(self, payload: dict) -> None:
+        self._file.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def chunk_done(self, records: list[dict]) -> None:
+        """Journal one finished chunk's records."""
+        self._write_line(
+            {"indices": [r["index"] for r in records], "records": records}
+        )
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_journal(
+    path: str | Path, config: CampaignConfig
+) -> dict[int, dict]:
+    """Load completed records from a journal, keyed by run index.
+
+    Raises :class:`JournalMismatch` when the journal's config differs
+    from ``config`` in any record-relevant field (execution-only knobs
+    like worker count may change between sessions).  A truncated final
+    line — the signature of a campaign killed mid-write — is ignored;
+    records beyond ``config.runs`` (a resume with fewer runs) are
+    dropped.
+    """
+    path = Path(path)
+    records: dict[int, dict] = {}
+    with path.open() as fh:
+        header_line = fh.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError:
+            raise JournalMismatch(f"{path} has no valid journal header")
+        if header.get("journal") != JOURNAL_FORMAT:
+            raise JournalMismatch(
+                f"{path} is not a format-{JOURNAL_FORMAT} campaign journal"
+            )
+        theirs = _record_relevant(header.get("config", {}))
+        ours = _record_relevant(config.to_dict())
+        if theirs != ours:
+            changed = sorted(
+                k for k in set(theirs) | set(ours)
+                if theirs.get(k) != ours.get(k)
+            )
+            raise JournalMismatch(
+                f"journal {path} was recorded for a different campaign "
+                f"(differs in: {changed})"
+            )
+        for line in fh:
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                break  # truncated tail: the campaign died mid-write
+            for record in entry.get("records", ()):
+                if 0 <= record["index"] < config.runs:
+                    records[record["index"]] = record
+    return records

@@ -28,6 +28,15 @@ from dataclasses import dataclass, field
 AGREE = "agree"
 DIVERGED = "diverged"
 INCONCLUSIVE = "inconclusive"
+#: A watchdog budget expired before the workload finished — the run is
+#: conservatively reported as possibly non-terminating (a livelock, or
+#: just a budget set too tight), never as a divergence.
+NONTERMINATING = "nonterminating"
+#: The run never produced a comparable pair of observations; see
+#: :mod:`repro.campaign.errors` for the structured error taxonomy.
+ERROR = "error"
+
+VERDICTS = (AGREE, DIVERGED, INCONCLUSIVE, NONTERMINATING, ERROR)
 
 
 @dataclass(frozen=True)
@@ -78,6 +87,17 @@ def compare(
     invariant_keys: tuple[str, ...],
 ) -> Verdict:
     """Rule on one (intermittent, continuous) pair of observations."""
+    if continuous.status == "nonterminating":
+        # The *control* burned its whole budget: the workload does not
+        # terminate even on continuous power, so no differential ruling
+        # is possible — but surface the non-termination loudly instead
+        # of filing it under the generic broken-control bucket.
+        return Verdict(
+            NONTERMINATING,
+            f"continuous control exceeded its watchdog budget "
+            f"({continuous.detail or 'no detail'}); the workload may "
+            f"not terminate at all",
+        )
     if continuous.faults or continuous.status != "completed":
         return Verdict(
             INCONCLUSIVE,
@@ -105,6 +125,17 @@ def compare(
     if diff:
         return Verdict(
             DIVERGED, "schedule-invariant observables differ", diff=diff
+        )
+    if intermittent.status == "nonterminating":
+        # The watchdog unwound the leg.  Memory was clean and the
+        # invariants matched at the cut point, so there is no evidence
+        # of an intermittence bug — but unlike a plain timeout the run
+        # burned its whole cycle/wall budget without finishing, which
+        # deserves its own conservative verdict (possible livelock).
+        return Verdict(
+            NONTERMINATING,
+            f"watchdog budget expired before the workload finished "
+            f"({intermittent.detail or 'no detail'}); possible livelock",
         )
     if intermittent.status == "completed":
         return Verdict(AGREE, "completed with matching invariants")

@@ -16,30 +16,52 @@ import json
 from pathlib import Path
 
 from repro.campaign.config import CampaignConfig
-from repro.campaign.oracle import AGREE, DIVERGED, INCONCLUSIVE
+from repro.campaign.oracle import (
+    AGREE,
+    DIVERGED,
+    ERROR,
+    INCONCLUSIVE,
+    NONTERMINATING,
+)
 
-REPORT_FORMAT = 1
+REPORT_FORMAT = 2
 
 
 def _summarize(records: list[dict]) -> dict:
-    verdicts = {AGREE: 0, DIVERGED: 0, INCONCLUSIVE: 0}
+    verdicts = {
+        AGREE: 0, DIVERGED: 0, INCONCLUSIVE: 0, NONTERMINATING: 0, ERROR: 0,
+    }
     statuses: dict[str, int] = {}
     modes: dict[str, int] = {}
+    error_kinds: dict[str, int] = {}
     injected = 0
     observed = 0
     for record in records:
         verdicts[record["verdict"]["verdict"]] += 1
-        status = record["intermittent"]["status"]
-        statuses[status] = statuses.get(status, 0) + 1
-        mode = record["plan"]["mode"]
-        modes[mode] = modes.get(mode, 0) + 1
+        error = record.get("error")
+        if error is not None:
+            error_kinds[error["kind"]] = error_kinds.get(error["kind"], 0) + 1
+        intermittent = record["intermittent"]
+        if intermittent is None:
+            # An error record: the run never produced a leg observation.
+            statuses["error"] = statuses.get("error", 0) + 1
+        else:
+            status = intermittent["status"]
+            statuses[status] = statuses.get(status, 0) + 1
+            observed += intermittent["reboots"]
+        plan = record["plan"]
+        if plan is not None:
+            mode = plan["mode"]
+            modes[mode] = modes.get(mode, 0) + 1
         injected += record["injected_reboots"]
-        observed += record["intermittent"]["reboots"]
     return {
         "runs": len(records),
         "agree": verdicts[AGREE],
         "diverged": verdicts[DIVERGED],
         "inconclusive": verdicts[INCONCLUSIVE],
+        "nonterminating": verdicts[NONTERMINATING],
+        "errors": verdicts[ERROR],
+        "error_kinds": error_kinds,
         "statuses": statuses,
         "modes": modes,
         "injected_reboots": injected,
@@ -49,16 +71,22 @@ def _summarize(records: list[dict]) -> dict:
 
 def _run_row(record: dict) -> dict:
     """The compact per-run row (full detail is kept for divergences)."""
-    return {
+    intermittent = record["intermittent"]
+    plan = record["plan"]
+    error = record.get("error")
+    row = {
         "index": record["index"],
         "seed": record["seed"],
-        "mode": record["plan"]["mode"],
+        "mode": None if plan is None else plan["mode"],
         "verdict": record["verdict"]["verdict"],
-        "status": record["intermittent"]["status"],
-        "boots": record["intermittent"]["boots"],
-        "reboots": record["intermittent"]["reboots"],
-        "faults": record["intermittent"]["faults"],
+        "status": "error" if intermittent is None else intermittent["status"],
+        "boots": 0 if intermittent is None else intermittent["boots"],
+        "reboots": 0 if intermittent is None else intermittent["reboots"],
+        "faults": 0 if intermittent is None else intermittent["faults"],
     }
+    if error is not None:
+        row["error"] = error["kind"]
+    return row
 
 
 def _divergence_row(record: dict) -> dict:
@@ -91,6 +119,16 @@ def build_report(config: CampaignConfig, records: list[dict]) -> dict:
             _divergence_row(r)
             for r in records
             if r["verdict"]["verdict"] == DIVERGED
+        ],
+        "errors": [
+            {
+                "index": r["index"],
+                "seed": r["seed"],
+                "error": r["error"],
+                "verdict": r["verdict"],
+            }
+            for r in records
+            if r.get("error") is not None
         ],
     }
 

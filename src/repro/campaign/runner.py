@@ -18,6 +18,13 @@ import random
 
 from repro.campaign.apps import get_adapter
 from repro.campaign.config import CampaignConfig
+from repro.campaign.errors import (
+    BudgetError,
+    GuestFault,
+    HostFault,
+    RunError,
+    error_record,
+)
 from repro.campaign.faults import (
     CommitBoundaryTrigger,
     EnergyLevelTrigger,
@@ -28,11 +35,12 @@ from repro.campaign.faults import (
     plan_faults,
 )
 from repro.campaign.oracle import Observation, Verdict, compare
+from repro.campaign.watchdog import RunWatchdog
 from repro.power.harvester import RFHarvester
 from repro.runtime.executor import IntermittentExecutor, RunResult
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import BudgetExceeded, Simulator
 from repro.sim.rng import derive_seed
-from repro.testing import make_bench_target, make_fast_target
+from repro.testing import make_bench_target, make_fast_target, time_limit
 
 
 def _observation(result: RunResult, observables: dict) -> Observation:
@@ -86,7 +94,8 @@ def run_intermittent_leg(
                 list(plan.flips),
             )
         )
-    result = executor.run(duration=config.duration, stop_on_fault=True)
+    with RunWatchdog(target, config.max_cycles, config.max_wall_s):
+        result = executor.run(duration=config.duration, stop_on_fault=True)
     observation = _observation(result, adapter.observe(program, executor.api))
     injected = sum(getattr(i, "injections", 0) for i in injectors)
     return observation, recorder.schedule(), injected
@@ -101,7 +110,8 @@ def run_continuous_leg(
     program = adapter.build(config.protect, config.iterations)
     executor = IntermittentExecutor(sim, target, program)
     executor.flash()
-    result = executor.run_continuous(duration=config.duration)
+    with RunWatchdog(target, config.max_cycles, config.max_wall_s):
+        result = executor.run_continuous(duration=config.duration)
     return _observation(result, adapter.observe(program, executor.api))
 
 
@@ -121,7 +131,8 @@ def replay_with_schedule(
     executor = IntermittentExecutor(sim, target, program)
     executor.flash()
     injector = ScheduledBrownouts(target, list(schedule))
-    result = executor.run(duration=config.duration, stop_on_fault=True)
+    with RunWatchdog(target, config.max_cycles, config.max_wall_s):
+        result = executor.run(duration=config.duration, stop_on_fault=True)
     injector.remove()
     return _observation(result, adapter.observe(program, executor.api))
 
@@ -130,17 +141,30 @@ def execute_run(config: CampaignConfig, index: int) -> dict:
     """Execute campaign run ``index``: both legs plus the oracle ruling.
 
     The returned record is a plain JSON-ready dict (it crosses process
-    boundaries and lands in the report).
+    boundaries and lands in the report).  Exceptions propagate —
+    :func:`execute_run_safe` is the supervised wrapper that classifies
+    them into the error taxonomy.
     """
     adapter = get_adapter(config.app)
+    if hasattr(adapter, "prepare"):
+        # Optional adapter hook: lets an adapter specialise per run
+        # (the chaos adapter keys its misbehaviour off the run index).
+        adapter.prepare(config, index)
     run_seed = derive_seed(config.seed, "run", index)
     plan = plan_faults(config, random.Random(derive_seed(run_seed, "plan")))
-    intermittent, schedule, injected = run_intermittent_leg(
-        config, adapter, plan, derive_seed(run_seed, "intermittent")
-    )
-    continuous = run_continuous_leg(
-        config, adapter, derive_seed(run_seed, "continuous")
-    )
+    try:
+        intermittent, schedule, injected = run_intermittent_leg(
+            config, adapter, plan, derive_seed(run_seed, "intermittent")
+        )
+        continuous = run_continuous_leg(
+            config, adapter, derive_seed(run_seed, "continuous")
+        )
+    except BudgetExceeded:
+        raise  # classified as budget_exceeded, not as a guest fault
+    except Exception as exc:
+        # Anything a leg raises past the executor's own handling came
+        # from simulating the guest — classify it on the guest side.
+        raise GuestFault.wrap(exc, detail="raised while executing a leg") from exc
     verdict = compare(intermittent, continuous, adapter.invariant_keys)
     return {
         "index": index,
@@ -152,6 +176,38 @@ def execute_run(config: CampaignConfig, index: int) -> dict:
         "continuous": continuous.to_dict(),
         "verdict": verdict.to_dict(),
     }
+
+
+def execute_run_safe(config: CampaignConfig, index: int) -> dict:
+    """Supervised :func:`execute_run`: always returns exactly one record.
+
+    This is what worker processes (and the serial path) actually
+    execute.  Any failure is folded into the structured error taxonomy
+    (:mod:`repro.campaign.errors`) instead of propagating, so a single
+    poisoned run can never take down its chunk, and every run index is
+    accounted for in the report.  ``KeyboardInterrupt`` still
+    propagates — interrupting the campaign is the supervisor's call,
+    not a per-run error.
+    """
+    try:
+        with time_limit(config.max_wall_s):
+            return execute_run(config, index)
+    except BudgetExceeded as exc:
+        # A budget expired outside a leg's own handling (e.g. the
+        # SIGALRM fired during planning, observation, or the oracle).
+        return error_record(
+            config, index, BudgetError.wrap(exc, detail="outside a leg")
+        )
+    except RunError as exc:
+        return error_record(config, index, exc)
+    except KeyboardInterrupt:
+        raise
+    except BaseException as exc:  # noqa: BLE001 - the supervision boundary
+        # Not guest execution and not a classified error: the engine
+        # itself failed (planning, adapter lookup, record assembly).
+        return error_record(
+            config, index, HostFault.wrap(exc, detail="outside guest execution")
+        )
 
 
 def verdict_for_schedule(
@@ -170,22 +226,37 @@ def capture_divergence(config: CampaignConfig, record: dict) -> dict | None:
     would inspect in the console.  The debugger's leakage makes this
     leg's trajectory differ slightly from the recorded one, which is
     fine: the capture is diagnostic garnish, never oracle input.
+
+    Precisely because the capture leg's trajectory differs, the replay
+    may fail to reproduce anything — or raise outright.  The capture is
+    a post-pass over an already-complete record, so a replay failure is
+    folded into a conservative ``{"unreproduced": ...}`` note rather
+    than allowed to propagate and sink the campaign.
     """
     from repro.core.debugger import EDB  # deferred: core pulls in the board stack
 
     adapter = get_adapter(config.app)
     run_seed = record["seed"]
-    plan = plan_faults(config, random.Random(derive_seed(run_seed, "plan")))
-    sim = Simulator(seed=derive_seed(run_seed, "capture"))
-    target = make_fast_target(
-        sim, distance_m=plan.distance_m, fading_sigma=plan.fading_sigma
-    )
-    edb = EDB(sim, target)
-    edb.trace("energy")
-    edb.trace("watchpoints")
-    program = adapter.build(config.protect, config.iterations)
-    executor = IntermittentExecutor(sim, target, program, edb=edb.libedb())
-    executor.flash()
-    _install_injectors(target, plan)
-    executor.run(duration=config.duration, stop_on_fault=True)
-    return edb.divergence_context()
+    try:
+        plan = plan_faults(config, random.Random(derive_seed(run_seed, "plan")))
+        sim = Simulator(seed=derive_seed(run_seed, "capture"))
+        target = make_fast_target(
+            sim, distance_m=plan.distance_m, fading_sigma=plan.fading_sigma
+        )
+        edb = EDB(sim, target)
+        edb.trace("energy")
+        edb.trace("watchpoints")
+        program = adapter.build(config.protect, config.iterations)
+        executor = IntermittentExecutor(sim, target, program, edb=edb.libedb())
+        executor.flash()
+        _install_injectors(target, plan)
+        with RunWatchdog(target, config.max_cycles, config.max_wall_s):
+            executor.run(duration=config.duration, stop_on_fault=True)
+        return edb.divergence_context()
+    except Exception as exc:
+        return {
+            "unreproduced": (
+                f"capture replay did not complete: "
+                f"{type(exc).__name__}: {exc}"
+            )
+        }

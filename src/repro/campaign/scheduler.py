@@ -1,68 +1,325 @@
-"""The campaign scheduler: chunked parallel execution plus post-passes.
+"""The supervised campaign scheduler: chunked parallel execution that
+survives its own workers.
 
 Runs are independent by construction (see :mod:`repro.campaign.runner`),
-so the scheduler's only real job is throughput bookkeeping: split the
-run indices into chunks, farm the chunks out to worker processes, and
-reassemble the records in index order so the output is identical no
-matter which worker finished first.
+so the scheduler's job splits in two.  The throughput half is unchanged
+from the original design: split the run indices into chunks, farm the
+chunks out to worker processes, and reassemble the records in index
+order so the output is identical no matter which worker finished first.
 
-Chunking matters because one run is short (tens of milliseconds): a
-naive run-per-task pool drowns in IPC.  A chunk amortizes the pickle
-and process round-trip over many runs while still load-balancing —
-stragglers only ever hold one chunk, not a fixed shard.
+The supervision half makes the engine *unkillable*:
 
-The shrink and capture post-passes run in the parent process: they
-touch at most ``shrink_limit`` runs, and keeping them serial keeps the
-ddmin replay sequence (and therefore the report) deterministic.
+- **Crash isolation.**  A worker process can die mid-chunk — segfault,
+  OOM kill, a guest calling ``os._exit`` — which breaks the whole
+  ``ProcessPoolExecutor``.  Every chunk that was in flight at the break
+  becomes a *suspect*; the pool is rebuilt (after an exponential-
+  backoff sleep) and suspects are retried **solo**, one chunk alone in
+  the pool, so the next failure blames exactly one chunk.  A chunk that
+  fails twice solo is split in half; a single-run chunk that exhausts
+  ``max_retries`` solo failures is quarantined with a structured
+  ``worker_lost`` record.  Innocent chunks co-blamed by someone else's
+  crash never accumulate failures and are simply re-run.
+- **Graceful degradation.**  If the pool cannot be (re)created at all,
+  execution degrades to serial in-process: never-implicated chunks run
+  inline (the supervised runner already converts their failures into
+  records), while suspect chunks get ``worker_lost`` records rather
+  than risking the host process on a run that just killed a worker.
+- **Checkpoint/resume.**  With a journal attached, each finished
+  chunk's records are appended and flushed immediately; a resumed
+  campaign replays journaled records and executes only the missing
+  indices.  Records are deterministic, so resumed and uninterrupted
+  campaigns produce byte-identical reports.
+- **Interrupt safety.**  ``KeyboardInterrupt`` stops scheduling,
+  abandons the pool without waiting, and returns a valid *partial*
+  report (marked with a top-level ``partial`` key) built from every
+  record completed so far — the journal already holds them all.
+
+The shrink and capture post-passes still run in the parent process:
+they touch at most ``shrink_limit`` runs, keeping them serial keeps the
+ddmin replay sequence (and therefore the report) deterministic, and
+both now tolerate replays that no longer reproduce (or raise).
 """
 
 from __future__ import annotations
 
+import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.campaign.apps import get_adapter
 from repro.campaign.config import CampaignConfig
-from repro.campaign.oracle import DIVERGED, Observation
+from repro.campaign.errors import HostFault, WorkerLost, error_record
+from repro.campaign.journal import JournalWriter, load_journal
+from repro.campaign.oracle import DIVERGED, ERROR, Observation
 from repro.campaign.report import build_report
 from repro.campaign.runner import (
     capture_divergence,
-    execute_run,
+    execute_run_safe,
     run_continuous_leg,
     verdict_for_schedule,
 )
 from repro.campaign.shrinker import shrink_schedule
 from repro.sim.rng import derive_seed
 
+#: Exponent cap for the retry backoff (``backoff * 2**n``): keeps the
+#: worst-case sleep bounded even on a long quarantine cascade.
+_MAX_BACKOFF_DOUBLINGS = 6
+
 
 def _chunk_worker(config_dict: dict, indices: list[int]) -> list[dict]:
-    """Worker entry point: execute a chunk of runs (picklable, module-level)."""
+    """Worker entry point: execute a chunk of runs (picklable, module-level).
+
+    Uses the *supervised* runner, so a failing run yields a structured
+    error record instead of poisoning its whole chunk; the only way a
+    chunk can fail as a unit is the worker process itself dying.
+    """
     config = CampaignConfig.from_dict(config_dict)
-    return [execute_run(config, index) for index in indices]
+    return [execute_run_safe(config, index) for index in indices]
 
 
-def _chunks(config: CampaignConfig) -> list[list[int]]:
-    indices = list(range(config.runs))
+def _chunk_indices(indices: list[int], config: CampaignConfig) -> list[list[int]]:
+    if not indices:
+        return []
     if config.chunk > 0:
         size = config.chunk
     else:
         # ~4 chunks per worker balances stragglers against IPC overhead.
-        size = max(1, min(25, (config.runs + 4 * config.workers - 1)
+        size = max(1, min(25, (len(indices) + 4 * config.workers - 1)
                           // (4 * config.workers)))
     return [indices[i : i + size] for i in range(0, len(indices), size)]
 
 
+def _worker_lost_records(config: CampaignConfig, indices: list[int]) -> list[dict]:
+    return [
+        error_record(
+            config,
+            index,
+            WorkerLost(
+                "worker process executing this run was lost repeatedly; "
+                "retries with backoff and chunk quarantine exhausted"
+            ),
+        )
+        for index in indices
+    ]
+
+
+@dataclass
+class _Chunk:
+    """A unit of scheduled work plus its supervision history."""
+
+    indices: list[int]
+    #: Failures while this chunk was *alone* in the pool — the precise
+    #: blame counter.  Co-blamed failures (another chunk's crash broke
+    #: the shared pool) do not count.
+    solo_failures: int = 0
+
+
+@dataclass
+class _Supervisor:
+    """Drives chunks to completion through crashes, retries, and splits."""
+
+    config: CampaignConfig
+    records: dict[int, dict]
+    progress: Callable[[int, int], None] | None = None
+    journal: JournalWriter | None = None
+    fail_fast: bool = False
+
+    stop: bool = field(default=False, init=False)
+    degraded: bool = field(default=False, init=False)
+    _pool: ProcessPoolExecutor | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        self._serial = self.config.workers == 1
+        self._config_dict = self.config.to_dict()
+
+    # -- record plumbing ---------------------------------------------------
+    def _collect(self, chunk_records: list[dict]) -> None:
+        for record in chunk_records:
+            self.records[record["index"]] = record
+        if self.journal is not None:
+            self.journal.chunk_done(chunk_records)
+        if self.progress is not None:
+            self.progress(len(self.records), self.config.runs)
+        if self.fail_fast and any(
+            r["verdict"]["verdict"] in (DIVERGED, ERROR) for r in chunk_records
+        ):
+            self.stop = True
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _ensure_pool(self) -> bool:
+        """True when a worker pool is available; degrades on failure."""
+        if self._pool is not None:
+            return True
+        try:
+            self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
+            return True
+        except Exception:
+            # The OS will not give us worker processes (fork failure,
+            # resource exhaustion): degrade to serial in-process
+            # execution instead of dying.
+            self._serial = True
+            self.degraded = True
+            return False
+
+    def _kill_pool(self, wait_for_exit: bool = False) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait_for_exit, cancel_futures=True)
+
+    # -- the supervision loop ----------------------------------------------
+    def run(self, chunk_lists: list[list[int]]) -> None:
+        fresh = deque(_Chunk(list(c)) for c in chunk_lists)
+        suspects: deque[_Chunk] = deque()
+        try:
+            while (fresh or suspects) and not self.stop:
+                if self._serial:
+                    self._drain_serial(fresh, suspects)
+                elif suspects:
+                    self._retry_suspect(suspects)
+                else:
+                    self._parallel_round(fresh, suspects)
+        finally:
+            self._kill_pool(wait_for_exit=True)
+
+    def _parallel_round(
+        self, fresh: deque[_Chunk], suspects: deque[_Chunk]
+    ) -> None:
+        """Run fresh chunks with up to ``workers`` in flight.
+
+        Returns when the queue drains, the pool breaks (every in-flight
+        chunk becomes a suspect), or a fail-fast trip stops the show.
+        Capping in-flight work at the worker count means a pool break
+        implicates as few chunks as possible.
+        """
+        if not self._ensure_pool():
+            return
+        in_flight: dict = {}
+
+        def submit_next() -> bool:
+            chunk = fresh.popleft()
+            try:
+                future = self._pool.submit(
+                    _chunk_worker, self._config_dict, chunk.indices
+                )
+            except Exception:
+                fresh.appendleft(chunk)
+                return False
+            in_flight[future] = chunk
+            return True
+
+        broken = False
+        while (fresh or in_flight) and not self.stop and not broken:
+            while fresh and len(in_flight) < self.config.workers:
+                if not submit_next():
+                    broken = True
+                    break
+            if not in_flight:
+                break
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                chunk = in_flight.pop(future)
+                try:
+                    self._collect(future.result())
+                except Exception:
+                    # The worker executing *some* in-flight chunk died
+                    # and broke the shared pool; this future cannot say
+                    # whether its own chunk was the killer.  Everyone
+                    # still in flight is a suspect — but nobody's
+                    # precise blame counter moves.
+                    suspects.append(chunk)
+                    broken = True
+        if broken:
+            for chunk in in_flight.values():
+                suspects.append(chunk)
+            self._kill_pool()
+
+    def _retry_suspect(self, suspects: deque[_Chunk]) -> None:
+        """Retry one suspect chunk alone in the pool (precise blame)."""
+        chunk = suspects[0]
+        delay = self.config.retry_backoff * (
+            2 ** min(chunk.solo_failures, _MAX_BACKOFF_DOUBLINGS)
+        )
+        if delay > 0.0:
+            time.sleep(delay)
+        if not self._ensure_pool():
+            return  # degraded; the main loop re-dispatches serially
+        suspects.popleft()
+        try:
+            future = self._pool.submit(
+                _chunk_worker, self._config_dict, chunk.indices
+            )
+            self._collect(future.result())
+        except KeyboardInterrupt:
+            suspects.appendleft(chunk)
+            raise
+        except Exception:
+            # The chunk failed *alone*: the blame is unambiguous.
+            self._kill_pool()
+            chunk.solo_failures += 1
+            if len(chunk.indices) == 1:
+                if chunk.solo_failures >= self.config.max_retries:
+                    # Quarantined: the poisoned run index is recorded
+                    # and the campaign moves on.
+                    self._collect(
+                        _worker_lost_records(self.config, chunk.indices)
+                    )
+                else:
+                    suspects.append(chunk)
+            elif chunk.solo_failures >= 2:
+                # Repeat offender: split in half to home in on the
+                # poisoned index.  Each half keeps one strike so it
+                # gets exactly one solo retry before splitting again.
+                mid = (len(chunk.indices) + 1) // 2
+                suspects.append(_Chunk(chunk.indices[:mid], solo_failures=1))
+                suspects.append(_Chunk(chunk.indices[mid:], solo_failures=1))
+            else:
+                suspects.append(chunk)
+
+    def _drain_serial(
+        self, fresh: deque[_Chunk], suspects: deque[_Chunk]
+    ) -> None:
+        """In-process execution: the workers==1 path and the degraded path.
+
+        Suspect chunks — implicated in at least one worker loss — are
+        *not* re-executed in-process: a run that just killed a worker
+        would take the whole campaign down with it.  They are recorded
+        as ``worker_lost`` instead.
+        """
+        while suspects and not self.stop:
+            chunk = suspects.popleft()
+            self._collect(_worker_lost_records(self.config, chunk.indices))
+        while fresh and not self.stop:
+            chunk = fresh.popleft()
+            self._collect(_chunk_worker(self._config_dict, chunk.indices))
+
+
+# -- post-passes -----------------------------------------------------------
 def _shrink_pass(config: CampaignConfig, records: list[dict]) -> None:
-    """Minimize the first ``shrink_limit`` diverging runs in place."""
+    """Minimize the first ``shrink_limit`` diverging runs in place.
+
+    Tolerant by construction: a control leg that fails to run marks the
+    candidates unshrunk, and replays that raise are treated as "does
+    not reproduce" (see :func:`repro.campaign.shrinker.shrink_schedule`).
+    """
     diverging = [
         r for r in records if r["verdict"]["verdict"] == DIVERGED
     ][: config.shrink_limit]
     if not diverging:
         return
     adapter = get_adapter(config.app)
-    continuous: Observation = run_continuous_leg(
-        config, adapter, derive_seed(config.seed, "shrink-control")
-    )
+    try:
+        continuous: Observation = run_continuous_leg(
+            config, adapter, derive_seed(config.seed, "shrink-control")
+        )
+    except Exception:
+        # No usable control, no shrinking — report the runs unshrunk
+        # (the same conservative "did not reproduce" marker a failed
+        # bench replay earns).
+        for record in diverging:
+            record["shrunk"] = None
+        return
     for record in diverging:
         def still_fails(candidate: list[int]) -> bool:
             return verdict_for_schedule(
@@ -77,46 +334,88 @@ def _shrink_pass(config: CampaignConfig, records: list[dict]) -> None:
         )
 
 
+def _capture_pass(config: CampaignConfig, records: list[dict]) -> None:
+    for record in records:
+        if record["verdict"]["verdict"] == DIVERGED:
+            record["capture"] = capture_divergence(config, record)
+            break
+
+
+# -- the public entry point ------------------------------------------------
 def run_campaign(
     config: CampaignConfig,
     progress: Callable[[int, int], None] | None = None,
+    *,
+    journal_path: str | None = None,
+    resume_from: str | None = None,
+    fail_fast: bool = False,
 ) -> dict:
-    """Execute a full campaign and return the report dict.
+    """Execute a full campaign under supervision and return the report.
 
     ``progress(done, total)`` is invoked after each finished chunk.
     With ``workers == 1`` everything runs inline in this process —
     bit-for-bit the same records the pool produces, which is both the
     determinism contract and the debugging escape hatch.
+
+    ``journal_path`` journals completed chunks as they finish;
+    ``resume_from`` loads such a journal, skips its completed runs, and
+    appends new chunks to the same file (the two are mutually
+    exclusive; resume implies journaling).  ``fail_fast`` stops
+    scheduling new work after the first diverged or errored record.
+
+    A ``KeyboardInterrupt`` — or a fail-fast trip — yields a valid
+    *partial* report carrying a top-level ``partial`` key; a campaign
+    that completes normally is guaranteed to hold exactly one record
+    per run index (a scheduler hole, should one ever occur, is filled
+    with a ``host_fault`` error record rather than silently dropped).
     """
-    chunks = _chunks(config)
-    records: list[dict] = []
-    done = 0
-    if config.workers == 1:
-        for chunk in chunks:
-            records.extend(_chunk_worker(config.to_dict(), chunk))
-            done += len(chunk)
-            if progress is not None:
-                progress(done, config.runs)
-    else:
-        config_dict = config.to_dict()
-        with ProcessPoolExecutor(max_workers=config.workers) as pool:
-            pending = {
-                pool.submit(_chunk_worker, config_dict, chunk): len(chunk)
-                for chunk in chunks
-            }
-            while pending:
-                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    records.extend(future.result())
-                    done += pending.pop(future)
-                    if progress is not None:
-                        progress(done, config.runs)
-    records.sort(key=lambda r: r["index"])
-    if config.shrink:
-        _shrink_pass(config, records)
-    if config.capture:
-        for record in records:
-            if record["verdict"]["verdict"] == DIVERGED:
-                record["capture"] = capture_divergence(config, record)
-                break
-    return build_report(config, records)
+    if journal_path is not None and resume_from is not None:
+        raise ValueError("journal_path and resume_from are mutually exclusive")
+    records: dict[int, dict] = {}
+    journal: JournalWriter | None = None
+    if resume_from is not None:
+        records = load_journal(resume_from, config)
+        journal = JournalWriter(resume_from, config, fresh=False)
+    elif journal_path is not None:
+        journal = JournalWriter(journal_path, config, fresh=True)
+
+    remaining = [i for i in range(config.runs) if i not in records]
+    supervisor = _Supervisor(
+        config, records, progress=progress, journal=journal,
+        fail_fast=fail_fast,
+    )
+    interrupted = False
+    try:
+        supervisor.run(_chunk_indices(remaining, config))
+    except KeyboardInterrupt:
+        # Stop scheduling, abandon the pool without waiting, and fall
+        # through to build a valid partial report — the journal already
+        # holds every completed chunk.
+        interrupted = True
+        supervisor._kill_pool()
+    finally:
+        if journal is not None:
+            journal.close()
+
+    if not interrupted and not supervisor.stop:
+        for index in range(config.runs):
+            if index not in records:
+                records[index] = error_record(
+                    config, index,
+                    HostFault("scheduler lost this run without a record"),
+                )
+    ordered = [records[i] for i in sorted(records)]
+    complete = not interrupted and len(ordered) == config.runs
+    if complete:
+        if config.shrink:
+            _shrink_pass(config, ordered)
+        if config.capture:
+            _capture_pass(config, ordered)
+    report = build_report(config, ordered)
+    if not complete:
+        report["partial"] = {
+            "completed": len(ordered),
+            "total": config.runs,
+            "interrupted": interrupted,
+        }
+    return report

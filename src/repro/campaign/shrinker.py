@@ -77,9 +77,23 @@ def shrink_schedule(
     something the bench replay does not reproduce (a corruption flip,
     an energy-trajectory effect): the campaign reports such runs
     unshrunk rather than pretending the replay is faithful.
+
+    A replay that *raises* (the candidate schedule drives the guest
+    into territory the recorded run never visited) is treated exactly
+    like one that does not reproduce: the candidate is rejected, and if
+    even the full schedule raises the result is ``None``.  Shrinking is
+    a post-pass over an already-complete record — it must never
+    propagate an exception out of the campaign's final stretch.
     """
     if not schedule:
         return None
-    if not still_fails(list(schedule)):
+
+    def tolerant(candidate: list[int]) -> bool:
+        try:
+            return still_fails(candidate)
+        except Exception:
+            return False
+
+    if not tolerant(list(schedule)):
         return None
-    return ddmin(list(schedule), still_fails, max_tests=max_tests)
+    return ddmin(list(schedule), tolerant, max_tests=max_tests)

@@ -1,0 +1,94 @@
+"""Per-run watchdogs: simulated-cycle and wall-clock budgets.
+
+A campaign run can stop making progress in two distinct ways and the
+watchdog covers both:
+
+- **Cycle budget** (`max_cycles`): the guest keeps executing — burning
+  simulated cycles — but never completes and never browns out hard
+  enough for the duration deadline to matter on wall-clock terms.  The
+  watchdog hooks the device's post-work chain and raises
+  :class:`~repro.sim.kernel.BudgetExceeded` the moment the leg's cycle
+  count crosses the budget.  Cycle counting is part of the simulation,
+  so a cycle-budget trip is **deterministic**: the same seed trips at
+  the same instruction every time, and reports stay byte-identical.
+- **Wall budget** (`max_wall_s`): the leg is burning *host* time.  Two
+  layers: the same post-work hook cheaply polls the monotonic clock
+  every few hundred work units (catches guests that execute slowly),
+  and :func:`repro.testing.time_limit` arms a SIGALRM alarm around the
+  whole run (catches host-side livelocks that never execute guest work
+  at all).  Wall trips are inherently non-deterministic; campaigns
+  that need byte-identical reports use the cycle budget and keep the
+  wall budget as a backstop sized far above normal runtimes.
+
+Both trips surface as the conservative ``NONTERMINATING`` verdict (or
+a ``budget_exceeded`` error record if the alarm fires outside a leg),
+never as a hang.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.mcu.device import TargetDevice
+from repro.sim.kernel import BudgetExceeded
+
+#: Post-work calls between monotonic-clock polls (a poll is ~100 ns;
+#: at any realistic op rate this bounds overshoot to well under 100 ms
+#: of host time per leg).
+_WALL_POLL_EVERY = 512
+
+
+class RunWatchdog:
+    """Budget enforcement for one execution leg.
+
+    Installs a single post-work hook on ``device``; uninstall with
+    :meth:`remove` (or use as a context manager).  A zero/falsy budget
+    disables that axis.
+    """
+
+    def __init__(
+        self,
+        device: TargetDevice,
+        max_cycles: int = 0,
+        max_wall_s: float = 0.0,
+    ) -> None:
+        self.device = device
+        self.max_cycles = int(max_cycles)
+        self.max_wall_s = float(max_wall_s)
+        self._cycles_start = device.cycles_executed
+        self._wall_start = time.monotonic()
+        self._polls = 0
+        if self.max_cycles > 0 or self.max_wall_s > 0.0:
+            device.post_work_hooks.append(self._hook)
+
+    def _hook(self) -> None:
+        if self.max_cycles > 0:
+            burned = self.device.cycles_executed - self._cycles_start
+            if burned >= self.max_cycles:
+                raise BudgetExceeded(
+                    f"simulated-cycle budget of {self.max_cycles} cycles "
+                    f"exhausted",
+                    budget="cycles",
+                )
+        if self.max_wall_s > 0.0:
+            self._polls += 1
+            if self._polls >= _WALL_POLL_EVERY:
+                self._polls = 0
+                if time.monotonic() - self._wall_start >= self.max_wall_s:
+                    raise BudgetExceeded(
+                        f"wall-clock budget of {self.max_wall_s:g} s "
+                        f"exhausted",
+                        budget="wall",
+                    )
+
+    def remove(self) -> None:
+        """Uninstall the hook (idempotent)."""
+        hooks = self.device.post_work_hooks
+        if self._hook in hooks:
+            hooks.remove(self._hook)
+
+    def __enter__(self) -> "RunWatchdog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.remove()

@@ -29,7 +29,7 @@ from repro.mcu.hlapi import DeviceAPI, ProgramComplete
 from repro.mcu.memory import MemoryFault
 from repro.power.harvester import TetheredSupply
 from repro.power.supply import ChargingTimeout
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import BudgetExceeded, Simulator
 
 
 class RunStatus(enum.Enum):
@@ -41,6 +41,7 @@ class RunStatus(enum.Enum):
     CRASHED = "crashed"  # unrecoverable memory corruption
     STARVED = "starved"  # harvester could not reach turn-on
     INTERRUPTED = "interrupted"  # a cooperative stop request paused the run
+    NONTERMINATING = "nonterminating"  # a watchdog budget expired (livelock?)
 
 
 @dataclass
@@ -212,6 +213,12 @@ class IntermittentExecutor:
                 status = RunStatus.CRASHED
         except ExecutionLimit:
             status = RunStatus.CRASHED if faults else RunStatus.TIMEOUT
+        except BudgetExceeded as exc:
+            # A watchdog (cycle or wall-clock budget) unwound the run:
+            # the workload did not finish within its budget, which is
+            # conservatively reported as possible non-termination.
+            status = RunStatus.NONTERMINATING
+            detail = str(exc)
         finally:
             self.device.stop_after = None
         return RunResult(
@@ -264,6 +271,9 @@ class IntermittentExecutor:
                 detail = halt
         except ExecutionLimit:
             status = RunStatus.TIMEOUT
+        except BudgetExceeded as exc:
+            status = RunStatus.NONTERMINATING
+            detail = str(exc)
         finally:
             self.device.stop_after = None
             self.device.power.untether()

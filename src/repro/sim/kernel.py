@@ -24,6 +24,22 @@ from repro.sim.rng import RngHub
 from repro.sim.trace import TraceRecorder
 
 
+class BudgetExceeded(Exception):
+    """A watchdog budget (simulated cycles or wall clock) expired.
+
+    Raised by supervision hooks — a device post-work hook counting
+    simulated cycles, or a wall-clock alarm — to unwind a run that
+    would otherwise never terminate.  Defined here (not in the campaign
+    package) so the runtime executor can catch it without a layering
+    violation; the campaign's conservative ``NONTERMINATING`` verdict
+    is built on top of this exception.
+    """
+
+    def __init__(self, message: str, budget: str = "unspecified") -> None:
+        super().__init__(message)
+        self.budget = budget
+
+
 @dataclass(order=True)
 class Event:
     """A scheduled callback. Ordered by (time, sequence number)."""
@@ -78,8 +94,13 @@ class Simulator:
         the hottest function in the simulator (called once per retired
         instruction), so the fast path is deliberately branch-minimal.
         """
-        if dt < 0.0:
-            raise ValueError(f"cannot move time backwards (dt={dt})")
+        # A single range check rejects negatives, NaN (every comparison
+        # with NaN is false), and infinity without adding branches to
+        # the fast path.
+        if not 0.0 <= dt < math.inf:
+            raise ValueError(
+                f"cannot move time backwards or by a non-finite step (dt={dt})"
+            )
         deadline = self._now + dt
         queue = self._queue
         if not queue or queue[0].time > deadline:
@@ -95,8 +116,11 @@ class Simulator:
         the power system's batched charging relies on to reproduce the
         stepped time grid exactly.
         """
-        if t < self._now:
-            raise ValueError(f"cannot move time backwards ({t} < {self._now})")
+        if not self._now <= t < math.inf:
+            raise ValueError(
+                f"cannot move time backwards or to a non-finite instant "
+                f"({t!r} vs now={self._now})"
+            )
         queue = self._queue
         if not queue or queue[0].time > t:
             self._now = t
@@ -117,7 +141,14 @@ class Simulator:
         self._now = deadline
 
     def run_until(self, t: float) -> None:
-        """Advance the clock to absolute time ``t`` (no-op if in the past)."""
+        """Advance the clock to absolute time ``t`` (no-op if in the past).
+
+        NaN and infinity are rejected explicitly: NaN compares false
+        against everything, so without the guard it would silently
+        no-op instead of surfacing the caller's arithmetic bug.
+        """
+        if math.isnan(t) or t == math.inf:
+            raise ValueError(f"run_until() needs a finite time (got {t!r})")
         if t > self._now:
             self.advance(t - self._now)
 
@@ -163,8 +194,11 @@ class Simulator:
     # -- scheduling -------------------------------------------------------
     def call_at(self, t: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to fire once at absolute time ``t``."""
-        if t < self._now:
-            raise ValueError(f"cannot schedule in the past ({t} < {self._now})")
+        if not self._now <= t < math.inf:
+            raise ValueError(
+                f"cannot schedule in the past or at a non-finite instant "
+                f"({t!r} vs now={self._now})"
+            )
         event = Event(time=t, seq=next(self._seq), callback=callback)
         heapq.heappush(self._queue, event)
         return event
@@ -183,11 +217,12 @@ class Simulator:
         the same guard :meth:`call_at` enforces.  Returns the
         :class:`Event`; call its ``cancel()`` to stop the recurrence.
         """
-        if period <= 0.0:
-            raise ValueError(f"period must be positive (got {period})")
-        if start is not None and start < self._now:
+        if not 0.0 < period < math.inf:  # also rejects NaN
+            raise ValueError(f"period must be positive and finite (got {period})")
+        if start is not None and not self._now <= start < math.inf:
             raise ValueError(
-                f"cannot schedule in the past ({start} < {self._now})"
+                f"cannot schedule in the past or at a non-finite instant "
+                f"({start!r} vs now={self._now})"
             )
         first = start if start is not None else self._now + period
         event = Event(

@@ -16,7 +16,11 @@ module provides surgical alternatives:
 
 from __future__ import annotations
 
+import contextlib
+import signal
+import threading
 from dataclasses import replace
+from typing import Iterator
 
 from repro.mcu.device import TargetDevice
 from repro.power.capacitor import StorageCapacitor
@@ -26,6 +30,67 @@ from repro.power.supply import PowerSystem
 from repro.power.wisp import WispPowerConstants, make_wisp_power_system
 from repro.sim import units
 from repro.sim.kernel import Simulator
+
+
+def can_use_alarm() -> bool:
+    """True when a SIGALRM-based wall-clock guard can be armed here.
+
+    Requires a POSIX platform and the main thread (signal handlers can
+    only be installed from the main thread of the main interpreter).
+    """
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextlib.contextmanager
+def time_limit(
+    seconds: float, make_error=None
+) -> Iterator[None]:
+    """Hard wall-clock limit on a block of code, via ``SIGALRM``.
+
+    Unlike a cooperative check, the alarm interrupts *any* Python
+    bytecode — including a host-side ``while True: pass`` livelock that
+    never reaches a polling point.  On expiry the block is unwound with
+    :class:`~repro.sim.kernel.BudgetExceeded` (or ``make_error()`` if
+    given).
+
+    Nesting-safe: the previous handler **and** any previously armed
+    itimer are restored on exit, with the outer timer re-armed for its
+    remaining time — so a per-test suite guard and a per-run campaign
+    watchdog compose instead of clobbering each other.  On platforms or
+    threads where alarms are unavailable the block runs unguarded (the
+    cooperative watchdog layers still apply).
+    """
+    from repro.sim.kernel import BudgetExceeded
+
+    if seconds <= 0 or not can_use_alarm():
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        if make_error is not None:
+            raise make_error()
+        raise BudgetExceeded(
+            f"wall-clock limit of {seconds:g} s exhausted", budget="wall"
+        )
+
+    old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    old_delay, old_interval = signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        spent = seconds - signal.setitimer(signal.ITIMER_REAL, 0.0)[0]
+        signal.signal(signal.SIGALRM, old_handler)
+        if old_delay:
+            # Re-arm the enclosing guard for whatever it has left (it
+            # may have expired while ours ran; fire it almost at once).
+            signal.setitimer(
+                signal.ITIMER_REAL,
+                max(1e-3, old_delay - spent),
+                old_interval,
+            )
 
 
 class BrownoutInjector:

@@ -1,4 +1,12 @@
-"""Shared fixtures: simulated targets at several fidelity/speed points."""
+"""Shared fixtures: simulated targets at several fidelity/speed points.
+
+Also the suite's hang guard: every test runs under a wall-clock limit
+(default 180 s, override with ``@pytest.mark.timeout_guard(seconds)``),
+so a regression that reintroduces a livelock fails loudly instead of
+wedging the whole tier-1 run.  The guard uses the same nesting-safe
+SIGALRM helper the campaign watchdog uses (`repro.testing.time_limit`)
+and degrades to no-op where alarms are unavailable.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +14,31 @@ import pytest
 
 from repro import EDB, Simulator, TargetDevice, make_wisp_power_system
 from repro.apps.sensors import Accelerometer, I2C_ADDRESS, MotionProfile
-from repro.testing import make_fast_target
+from repro.testing import make_fast_target, time_limit
+
+#: Generous default per-test wall budget: the slowest legitimate tier-1
+#: tests finish in a few seconds, so only a genuine hang trips this.
+DEFAULT_TEST_TIMEOUT_S = 180.0
+
+
+class TestTimeoutGuard(Exception):
+    """A test exceeded the suite's per-test wall-clock guard."""
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout_guard")
+    seconds = float(marker.args[0]) if marker and marker.args else (
+        DEFAULT_TEST_TIMEOUT_S
+    )
+    with time_limit(
+        seconds,
+        make_error=lambda: TestTimeoutGuard(
+            f"{item.nodeid} exceeded the {seconds:g}s per-test guard "
+            f"(likely hang/livelock)"
+        ),
+    ):
+        yield
 
 
 @pytest.fixture
