@@ -1,0 +1,21 @@
+#!/bin/sh
+# Repository check: the tier-1 test suite plus the quick perf gate.
+#
+# Tier-1 (must stay green):     PYTHONPATH=src python -m pytest -x -q
+# Tier-1-adjacent (perf gate):  python -m repro.perf --check --quick
+#
+# The perf gate compares against benchmarks/perf_baseline.json with the
+# relaxed --quick tolerance; it catches order-of-magnitude cliffs, not
+# small regressions — use `python -m repro.perf --check --repeats 3`
+# for a real measurement (see docs/PERF.md).
+set -e
+cd "$(dirname "$0")/.."
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "== tier-1: pytest =="
+python -m pytest -x -q
+
+echo "== tier-1-adjacent: perf gate =="
+python -m repro.perf --check --quick --out /tmp/BENCH_perf_check.json

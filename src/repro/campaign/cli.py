@@ -98,6 +98,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fail-fast", action="store_true",
                         help="stop scheduling new runs after the first "
                              "diverged or errored record (partial report)")
+    snapshot = parser.add_mutually_exclusive_group()
+    snapshot.add_argument("--snapshot", dest="snapshot", action="store_true",
+                          default=True,
+                          help="share campaign prefixes via device snapshots "
+                               "(default; reports are byte-identical either "
+                               "way)")
+    snapshot.add_argument("--no-snapshot", dest="snapshot",
+                          action="store_false",
+                          help="simulate every run from reset (the legacy "
+                               "execution path)")
     parser.add_argument("--out", default="campaign_report.json",
                         help="report path (default: %(default)s)")
     parser.add_argument("--quiet", action="store_true",
@@ -207,6 +217,7 @@ def main(argv: list[str] | None = None) -> int:
             journal_path=args.journal,
             resume_from=args.resume,
             fail_fast=args.fail_fast,
+            snapshot=args.snapshot,
         )
     except JournalMismatch as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -122,7 +122,14 @@ def plan_faults(config: CampaignConfig, rng: random.Random) -> FaultPlan:
 
 
 class _Injector:
-    """Hook bookkeeping shared by the injectors below."""
+    """Hook bookkeeping shared by the injectors below.
+
+    Injector counters are *simulated-world* state: a mid-run snapshot
+    that omitted them would resume with a desynchronized schedule.
+    Each injector therefore exposes ``export_state``/``restore_state``
+    (plain tuples, no device references) that the snapshot layer's
+    callers carry alongside a :class:`repro.snapshot.DeviceSnapshot`.
+    """
 
     def __init__(self, device: TargetDevice) -> None:
         self.device = device
@@ -160,6 +167,14 @@ class ScheduledBrownouts(_Injector):
         if self._ops == self.schedule[self._boot]:
             self._force()
 
+    def export_state(self) -> tuple:
+        """Snapshot-able progress state (see :class:`_Injector`)."""
+        return (self._boot, self._ops, self.injections)
+
+    def restore_state(self, state: tuple) -> None:
+        """Rewind to a previously exported progress state."""
+        self._boot, self._ops, self.injections = state
+
     def remove(self) -> None:
         """Uninstall both hooks."""
         if self._on_reboot in self.device.on_reboot:
@@ -189,6 +204,14 @@ class EnergyLevelTrigger(_Injector):
         if power.is_on and power.vcap <= self.levels[self._index]:
             self._index += 1
             self._force()
+
+    def export_state(self) -> tuple:
+        """Snapshot-able progress state (see :class:`_Injector`)."""
+        return (self._index, self.injections)
+
+    def restore_state(self, state: tuple) -> None:
+        """Rewind to a previously exported progress state."""
+        self._index, self.injections = state
 
     def remove(self) -> None:
         """Uninstall the hook."""
@@ -222,6 +245,14 @@ class CommitBoundaryTrigger(_Injector):
         ):
             self._index += 1
             self._force()
+
+    def export_state(self) -> tuple:
+        """Snapshot-able progress state (see :class:`_Injector`)."""
+        return (self._index, self.writes_seen, self.injections)
+
+    def restore_state(self, state: tuple) -> None:
+        """Rewind to a previously exported progress state."""
+        self._index, self.writes_seen, self.injections = state
 
     def remove(self) -> None:
         """Uninstall the observer."""
@@ -271,6 +302,7 @@ class StateCorruptor:
                 continue
             region = self.device.memory.region_at(address, 1)
             region.write_u8(address, region.read_u8(address) ^ (1 << bit))
+            self.device.memory.notify_out_of_band(address, 1)
             self.applied.append((address, bit))
         if self.applied:
             # Region-level writes bypass the map observers on purpose
@@ -278,6 +310,16 @@ class StateCorruptor:
             # CPU's decoded-instruction cache is told explicitly — a
             # flip could land in code bytes.
             self.device.cpu.invalidate_decode_cache()
+
+    def export_state(self) -> tuple:
+        """Snapshot-able progress state (see :class:`_Injector`)."""
+        return (self._boot, tuple(self.applied))
+
+    def restore_state(self, state: tuple) -> None:
+        """Rewind to a previously exported progress state."""
+        boot, applied = state
+        self._boot = boot
+        self.applied = list(applied)
 
     def remove(self) -> None:
         """Uninstall the hook."""
@@ -313,6 +355,17 @@ class RebootRecorder:
     def schedule(self) -> list[int]:
         """Ops-per-boot for every brown-out-terminated boot so far."""
         return list(self._completed)
+
+    def export_state(self) -> tuple:
+        """Snapshot-able progress state (see :class:`_Injector`)."""
+        return (tuple(self._completed), self._ops, self._started)
+
+    def restore_state(self, state: tuple) -> None:
+        """Rewind to a previously exported progress state."""
+        completed, ops, started = state
+        self._completed = list(completed)
+        self._ops = ops
+        self._started = started
 
     def remove(self) -> None:
         """Uninstall both hooks."""

@@ -137,13 +137,20 @@ def replay_with_schedule(
     return _observation(result, adapter.observe(program, executor.api))
 
 
-def execute_run(config: CampaignConfig, index: int) -> dict:
+def execute_run(
+    config: CampaignConfig, index: int, *, snapshot: bool = False
+) -> dict:
     """Execute campaign run ``index``: both legs plus the oracle ruling.
 
     The returned record is a plain JSON-ready dict (it crosses process
     boundaries and lands in the report).  Exceptions propagate —
     :func:`execute_run_safe` is the supervised wrapper that classifies
     them into the error taxonomy.
+
+    ``snapshot`` is an execution-only switch (never part of the config,
+    so it never appears in reports): it reuses the memoized continuous
+    control leg (see :mod:`repro.campaign.forking`), which is verified
+    bit-identical to running the leg from reset.
     """
     adapter = get_adapter(config.app)
     if hasattr(adapter, "prepare"):
@@ -156,9 +163,16 @@ def execute_run(config: CampaignConfig, index: int) -> dict:
         intermittent, schedule, injected = run_intermittent_leg(
             config, adapter, plan, derive_seed(run_seed, "intermittent")
         )
-        continuous = run_continuous_leg(
-            config, adapter, derive_seed(run_seed, "continuous")
-        )
+        if snapshot:
+            from repro.campaign.forking import continuous_observation
+
+            continuous = continuous_observation(
+                config, adapter, derive_seed(run_seed, "continuous")
+            )
+        else:
+            continuous = run_continuous_leg(
+                config, adapter, derive_seed(run_seed, "continuous")
+            )
     except BudgetExceeded:
         raise  # classified as budget_exceeded, not as a guest fault
     except Exception as exc:
@@ -178,7 +192,9 @@ def execute_run(config: CampaignConfig, index: int) -> dict:
     }
 
 
-def execute_run_safe(config: CampaignConfig, index: int) -> dict:
+def execute_run_safe(
+    config: CampaignConfig, index: int, *, snapshot: bool = False
+) -> dict:
     """Supervised :func:`execute_run`: always returns exactly one record.
 
     This is what worker processes (and the serial path) actually
@@ -191,7 +207,7 @@ def execute_run_safe(config: CampaignConfig, index: int) -> dict:
     """
     try:
         with time_limit(config.max_wall_s):
-            return execute_run(config, index)
+            return execute_run(config, index, snapshot=snapshot)
     except BudgetExceeded as exc:
         # A budget expired outside a leg's own handling (e.g. the
         # SIGALRM fired during planning, observation, or the oracle).

@@ -52,7 +52,7 @@ from repro.campaign.apps import get_adapter
 from repro.campaign.config import CampaignConfig
 from repro.campaign.errors import HostFault, WorkerLost, error_record
 from repro.campaign.journal import JournalWriter, load_journal
-from repro.campaign.oracle import DIVERGED, ERROR, Observation
+from repro.campaign.oracle import DIVERGED, ERROR, Observation, compare
 from repro.campaign.report import build_report
 from repro.campaign.runner import (
     capture_divergence,
@@ -68,14 +68,26 @@ from repro.sim.rng import derive_seed
 _MAX_BACKOFF_DOUBLINGS = 6
 
 
-def _chunk_worker(config_dict: dict, indices: list[int]) -> list[dict]:
+def _chunk_worker(
+    config_dict: dict, indices: list[int], snapshot: bool = False
+) -> list[dict]:
     """Worker entry point: execute a chunk of runs (picklable, module-level).
 
     Uses the *supervised* runner, so a failing run yields a structured
     error record instead of poisoning its whole chunk; the only way a
     chunk can fail as a unit is the worker process itself dying.
+
+    ``snapshot`` routes the chunk through the prefix-fork engine
+    (:func:`repro.campaign.forking.execute_chunk`), which shares work
+    between runs whose fault plans allow it and produces byte-identical
+    records either way.  It is an execution-only parameter — never part
+    of the config dict, so reports and journals are unaffected by it.
     """
     config = CampaignConfig.from_dict(config_dict)
+    if snapshot:
+        from repro.campaign.forking import execute_chunk
+
+        return execute_chunk(config, indices)
     return [execute_run_safe(config, index) for index in indices]
 
 
@@ -125,6 +137,7 @@ class _Supervisor:
     progress: Callable[[int, int], None] | None = None
     journal: JournalWriter | None = None
     fail_fast: bool = False
+    snapshot: bool = False
 
     stop: bool = field(default=False, init=False)
     degraded: bool = field(default=False, init=False)
@@ -201,7 +214,8 @@ class _Supervisor:
             chunk = fresh.popleft()
             try:
                 future = self._pool.submit(
-                    _chunk_worker, self._config_dict, chunk.indices
+                    _chunk_worker, self._config_dict, chunk.indices,
+                    self.snapshot,
                 )
             except Exception:
                 fresh.appendleft(chunk)
@@ -248,7 +262,8 @@ class _Supervisor:
         suspects.popleft()
         try:
             future = self._pool.submit(
-                _chunk_worker, self._config_dict, chunk.indices
+                _chunk_worker, self._config_dict, chunk.indices,
+                self.snapshot,
             )
             self._collect(future.result())
         except KeyboardInterrupt:
@@ -292,17 +307,29 @@ class _Supervisor:
             self._collect(_worker_lost_records(self.config, chunk.indices))
         while fresh and not self.stop:
             chunk = fresh.popleft()
-            self._collect(_chunk_worker(self._config_dict, chunk.indices))
+            self._collect(
+                _chunk_worker(self._config_dict, chunk.indices, self.snapshot)
+            )
 
 
 # -- post-passes -----------------------------------------------------------
-def _shrink_pass(config: CampaignConfig, records: list[dict]) -> None:
+def _shrink_pass(
+    config: CampaignConfig, records: list[dict], snapshot: bool = False
+) -> None:
     """Minimize the first ``shrink_limit`` diverging runs in place.
 
     Tolerant by construction: a control leg that fails to run marks the
     candidates unshrunk, and replays that raise are treated as "does
     not reproduce" (see :func:`repro.campaign.shrinker.shrink_schedule`).
+
+    With ``snapshot`` on, ddmin probes replay from the nearest cached
+    boundary snapshot of one long-lived bench session instead of
+    re-simulating each candidate's shared prefix from reset; any
+    session failure (or a violated zero-RNG invariant) falls back to
+    the from-reset replay, probe by probe.
     """
+    from repro.campaign.forking import ForkSession, continuous_observation
+
     diverging = [
         r for r in records if r["verdict"]["verdict"] == DIVERGED
     ][: config.shrink_limit]
@@ -310,9 +337,14 @@ def _shrink_pass(config: CampaignConfig, records: list[dict]) -> None:
         return
     adapter = get_adapter(config.app)
     try:
-        continuous: Observation = run_continuous_leg(
-            config, adapter, derive_seed(config.seed, "shrink-control")
-        )
+        if snapshot:
+            continuous: Observation = continuous_observation(
+                config, adapter, derive_seed(config.seed, "shrink-control")
+            )
+        else:
+            continuous = run_continuous_leg(
+                config, adapter, derive_seed(config.seed, "shrink-control")
+            )
     except Exception:
         # No usable control, no shrinking — report the runs unshrunk
         # (the same conservative "did not reproduce" marker a failed
@@ -320,18 +352,45 @@ def _shrink_pass(config: CampaignConfig, records: list[dict]) -> None:
         for record in diverging:
             record["shrunk"] = None
         return
-    for record in diverging:
-        def still_fails(candidate: list[int]) -> bool:
-            return verdict_for_schedule(
-                config, adapter, continuous, candidate
-            ).diverged
+    session = None
+    if snapshot and not hasattr(adapter, "prepare"):
+        try:
+            session = ForkSession.for_replay(config, adapter)
+        except Exception:
+            session = None
+    try:
+        for record in diverging:
+            def still_fails(candidate: list[int]) -> bool:
+                nonlocal session
+                if session is not None:
+                    try:
+                        observation, _, _ = session.execute(candidate)
+                        if session.rng_untouched:
+                            return compare(
+                                observation, continuous, adapter.invariant_keys
+                            ).diverged
+                    except KeyboardInterrupt:
+                        raise
+                    except BaseException:
+                        pass
+                    # Session state is suspect (a replay raised) or the
+                    # zero-RNG invariant broke: retire the session and
+                    # replay this and all later probes from reset.
+                    session.close()
+                    session = None
+                return verdict_for_schedule(
+                    config, adapter, continuous, candidate
+                ).diverged
 
-        minimal = shrink_schedule(record["observed_schedule"], still_fails)
-        record["shrunk"] = (
-            None
-            if minimal is None
-            else {"schedule": minimal, "reboots": len(minimal)}
-        )
+            minimal = shrink_schedule(record["observed_schedule"], still_fails)
+            record["shrunk"] = (
+                None
+                if minimal is None
+                else {"schedule": minimal, "reboots": len(minimal)}
+            )
+    finally:
+        if session is not None:
+            session.close()
 
 
 def _capture_pass(config: CampaignConfig, records: list[dict]) -> None:
@@ -349,6 +408,7 @@ def run_campaign(
     journal_path: str | None = None,
     resume_from: str | None = None,
     fail_fast: bool = False,
+    snapshot: bool = True,
 ) -> dict:
     """Execute a full campaign under supervision and return the report.
 
@@ -362,6 +422,13 @@ def run_campaign(
     appends new chunks to the same file (the two are mutually
     exclusive; resume implies journaling).  ``fail_fast`` stops
     scheduling new work after the first diverged or errored record.
+
+    ``snapshot`` (default on) enables the snapshot/fork execution
+    paths — prefix-grouped run forking, memoized continuous legs, and
+    boundary-snapshot ddmin replays (:mod:`repro.campaign.forking`).
+    It is execution-only: the records, the journal format, and the
+    report are byte-identical with it on or off, which is why it is a
+    keyword here rather than a :class:`CampaignConfig` field.
 
     A ``KeyboardInterrupt`` — or a fail-fast trip — yields a valid
     *partial* report carrying a top-level ``partial`` key; a campaign
@@ -382,7 +449,7 @@ def run_campaign(
     remaining = [i for i in range(config.runs) if i not in records]
     supervisor = _Supervisor(
         config, records, progress=progress, journal=journal,
-        fail_fast=fail_fast,
+        fail_fast=fail_fast, snapshot=snapshot,
     )
     interrupted = False
     try:
@@ -408,7 +475,7 @@ def run_campaign(
     complete = not interrupted and len(ordered) == config.runs
     if complete:
         if config.shrink:
-            _shrink_pass(config, ordered)
+            _shrink_pass(config, ordered, snapshot=snapshot)
         if config.capture:
             _capture_pass(config, ordered)
     report = build_report(config, ordered)

@@ -81,6 +81,19 @@ class RunWatchdog:
                         budget="wall",
                     )
 
+    def rearm_wall(self) -> None:
+        """Restart the wall-clock budget from now.
+
+        Snapshot/fork sessions keep one watchdog alive across many
+        logical runs; each run gets a fresh wall budget (host-side
+        state, never captured in snapshots).  The cycle budget is
+        deliberately *not* re-anchored: ``cycles_executed`` is restored
+        by the device snapshot, so the original anchor already measures
+        exactly the cycles a from-reset run would have burned.
+        """
+        self._wall_start = time.monotonic()
+        self._polls = 0
+
     def remove(self) -> None:
         """Uninstall the hook (idempotent)."""
         hooks = self.device.post_work_hooks

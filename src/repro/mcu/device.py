@@ -152,11 +152,19 @@ class TargetDevice:
             + self.gpio.total_load_current()
             + extra_current
         )
-        energy_before = self.power.capacitor.energy
+        # Inline of capacitor.energy (0.5 * C * V * V, the exact
+        # cap_energy expression): this runs twice per unit of work and
+        # the property + helper call overhead dominates it.
+        capacitor = self.power.capacitor
+        v = capacitor._voltage
+        energy_before = 0.5 * capacitor.capacitance * v * v
         self.sim.advance(dt)
         powered = self.power.step(dt, current)
         self.cycles_executed += cycles
-        self.energy_consumed += max(0.0, energy_before - self.power.capacitor.energy)
+        v = capacitor._voltage
+        drained = energy_before - 0.5 * capacitor.capacitance * v * v
+        if drained > 0.0:
+            self.energy_consumed += drained
         if not powered:
             raise PowerFailure(
                 f"brown-out at {self.sim.now * 1e3:.3f} ms "
@@ -189,10 +197,15 @@ class TargetDevice:
         if self.stop_after is not None and self.sim.now >= self.stop_after:
             raise ExecutionLimit(f"deadline {self.stop_after:.6f} s reached")
         self._check_power()
-        energy_before = self.power.capacitor.energy
+        capacitor = self.power.capacitor
+        v = capacitor._voltage
+        energy_before = 0.5 * capacitor.capacitance * v * v
         self.sim.advance(seconds)
         powered = self.power.step(seconds, self.constants.sleep_current)
-        self.energy_consumed += max(0.0, energy_before - self.power.capacitor.energy)
+        v = capacitor._voltage
+        drained = energy_before - 0.5 * capacitor.capacitance * v * v
+        if drained > 0.0:
+            self.energy_consumed += drained
         if not powered:
             raise PowerFailure(
                 f"brown-out during sleep at {self.sim.now * 1e3:.3f} ms",

@@ -140,28 +140,35 @@ class DeviceAPI:
         """Load a word from target memory (cost depends on region)."""
         region = self.device.memory.region_at(address, 2)
         self.device.execute_cycles(COST_LOAD + region.read_cycles)
-        return self.device.memory.read_u16(address)
+        return region.read_u16(address)
 
     def store_u16(self, address: int, value: int) -> None:
         """Store a word to target memory (cost depends on region)."""
-        region = self.device.memory.region_at(address, 2)
+        memory = self.device.memory
+        region = memory.region_at(address, 2)
         self.device.execute_cycles(COST_STORE + region.write_cycles)
-        self.device.memory.write_u16(address, value)
+        # Write through the already-resolved region, but keep the map's
+        # write notification: dirty-page tracking and commit-boundary
+        # counting both hang off it.
+        region.write_u16(address, value)
+        memory._notify_write(address, 2)
 
     def load_bytes(self, address: int, count: int) -> bytes:
         """Bulk read (cost scales with length)."""
         region = self.device.memory.region_at(address, max(1, count))
         self.device.execute_cycles(COST_LOAD + region.read_cycles * max(1, count // 2))
-        return self.device.memory.read_bytes(address, count)
+        return region.read_bytes(address, count)
 
     def store_bytes(self, address: int, data: bytes) -> None:
         """Bulk write (cost scales with length)."""
         count = max(1, len(data))
-        region = self.device.memory.region_at(address, count)
+        memory = self.device.memory
+        region = memory.region_at(address, count)
         self.device.execute_cycles(
             COST_STORE + region.write_cycles * max(1, count // 2)
         )
-        self.device.memory.write_bytes(address, data)
+        region.write_bytes(address, data)
+        memory._notify_write(address, len(data))
 
     def memset(self, address: int, value: int, count: int) -> None:
         """``memset``: the write that goes wild in the Figure 6 bug."""

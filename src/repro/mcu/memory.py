@@ -166,6 +166,13 @@ class MemoryMap:
         # fault injector watches FRAM traffic here; observers must not
         # themselves touch target memory.
         self.write_observers: list = []
+        # Out-of-band observers: notified (via ``notify_out_of_band``)
+        # of region-level writes that deliberately bypass the map —
+        # FRAM decay flips, host-side surgery.  Kept separate so
+        # observers that model the *program's* store stream (the
+        # commit-boundary trigger) never count them, while bookkeeping
+        # that must see every mutation (snapshot dirty tracking) can.
+        self.oob_write_observers: list = []
         # Region-lookup acceleration: a last-hit cache plus a page
         # table covering every page that lies entirely inside one
         # region.  Both only ever *shortcut* the linear scan — fault
@@ -184,6 +191,11 @@ class MemoryMap:
 
     def _notify_write(self, address: int, width: int) -> None:
         for hook in self.write_observers:
+            hook(address, width)
+
+    def notify_out_of_band(self, address: int, width: int) -> None:
+        """Report a region-level write that bypassed the map accessors."""
+        for hook in self.oob_write_observers:
             hook(address, width)
 
     def region(self, name: str) -> MemoryRegion:

@@ -9,6 +9,7 @@ from repro.perf.harness import (
     bench_campaign,
     bench_charge_discharge,
     bench_isa_throughput,
+    bench_snapshot_fork,
     run_all,
 )
 
@@ -17,5 +18,6 @@ __all__ = [
     "bench_campaign",
     "bench_charge_discharge",
     "bench_isa_throughput",
+    "bench_snapshot_fork",
     "run_all",
 ]

@@ -8,6 +8,8 @@ terminal voltage; energy follows ``E = 1/2 C V^2``.
 
 from __future__ import annotations
 
+import math
+
 from repro.sim import units
 
 
@@ -102,8 +104,6 @@ class StorageCapacitor:
         """Apply self-discharge through ``leakage_resistance`` for ``dt``."""
         if self.leakage_resistance is None or self._voltage <= 0.0:
             return
-        import math
-
         tau = self.leakage_resistance * self.capacitance
         self.voltage = self._voltage * math.exp(-dt / tau)
 

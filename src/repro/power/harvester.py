@@ -57,6 +57,16 @@ class EnergySource(Protocol):
         """Source resistance ``Rs`` in ohms at time ``t``."""
         ...
 
+    def thevenin(self, t: float) -> tuple[float, float]:
+        """``(Voc, Rs)`` in one call.
+
+        Must return exactly the same pair the two separate accessors
+        would — it exists so the per-cycle supply step pays one source
+        evaluation instead of two.  Sources without it are still valid;
+        the power system falls back to the separate accessors.
+        """
+        ...
+
 
 class NullSource:
     """A source that supplies no energy at all."""
@@ -66,6 +76,9 @@ class NullSource:
 
     def source_resistance(self, t: float) -> float:
         return 1.0 * units.MOHM
+
+    def thevenin(self, t: float) -> tuple[float, float]:
+        return 0.0, 1.0 * units.MOHM
 
     def hold_until(self, t: float) -> float:
         """Conditions never change."""
@@ -90,6 +103,9 @@ class ConstantCurrentSource:
 
     def source_resistance(self, t: float) -> float:
         return self.compliance_v / self.current_a
+
+    def thevenin(self, t: float) -> tuple[float, float]:
+        return self.compliance_v, self.compliance_v / self.current_a
 
     def hold_until(self, t: float) -> float:
         """Conditions never change."""
@@ -219,6 +235,15 @@ class RFHarvester:
         # Maximum power transfer: P_available = Voc^2 / (4 Rs).
         return self.open_voltage**2 / (4.0 * power)
 
+    def thevenin(self, t: float) -> tuple[float, float]:
+        # One harvested_power() evaluation instead of two; the branch
+        # structure and expressions mirror the separate accessors
+        # exactly, so the returned pair is bit-identical.
+        power = self.harvested_power(t)
+        if power <= 0.0:
+            return 0.0, 1.0 * units.MOHM
+        return self.open_voltage, self.open_voltage**2 / (4.0 * power)
+
     def hold_until(self, t: float) -> float:
         """Conditions hold until the next duty edge or fading redraw.
 
@@ -276,6 +301,12 @@ class SolarHarvester:
             return 1.0 * units.MOHM
         return self.open_voltage**2 / (4.0 * power)
 
+    def thevenin(self, t: float) -> tuple[float, float]:
+        power = self.harvested_power(t)
+        if power <= 0.0:
+            return 0.0, 1.0 * units.MOHM
+        return self.open_voltage, self.open_voltage**2 / (4.0 * power)
+
     def hold_until(self, t: float) -> float:
         """Irradiance is a parameter, not a function of time."""
         return math.inf
@@ -319,6 +350,10 @@ class TraceDrivenSource:
     def source_resistance(self, t: float) -> float:
         return self.rs[self._index(t)]
 
+    def thevenin(self, t: float) -> tuple[float, float]:
+        index = self._index(t)
+        return self.voc[index], self.rs[index]
+
     def hold_until(self, t: float) -> float:
         """The zero-order hold holds until the next trace sample."""
         index = bisect.bisect_right(self.times, t)
@@ -342,6 +377,9 @@ class TetheredSupply:
 
     def source_resistance(self, t: float) -> float:
         return self.resistance
+
+    def thevenin(self, t: float) -> tuple[float, float]:
+        return self.voltage, self.resistance
 
     def hold_until(self, t: float) -> float:
         """A bench supply is stiff and constant."""

@@ -181,18 +181,30 @@ class PowerSystem:
             raise ValueError(f"dt must be non-negative (got {dt})")
         source = self._active_source()
         t = self.sim.now
-        input_current = self.regulator.input_current(self.vcap, load_current)
+        capacitor = self.capacitor
+        input_current = self.regulator.input_current(
+            capacitor.voltage, load_current
+        )
         net_load = input_current - self._injected_current
+        # One source evaluation per step: thevenin() returns the exact
+        # (Voc, Rs) pair the two separate accessors would.
+        thevenin = getattr(source, "thevenin", None)
+        if thevenin is not None:
+            voc, rs = thevenin(t)
+        else:
+            voc = source.open_circuit_voltage(t)
+            rs = source.source_resistance(t)
         new_v = charge_step(
-            v0=self.capacitor.voltage,
-            voc=source.open_circuit_voltage(t),
-            rs=source.source_resistance(t),
-            capacitance=self.capacitor.capacitance,
+            v0=capacitor.voltage,
+            voc=voc,
+            rs=rs,
+            capacitance=capacitor.capacitance,
             load_current=net_load,
             dt=dt,
         )
-        self.capacitor.voltage = new_v
-        self.capacitor.step_leakage(dt)
+        capacitor.voltage = new_v
+        if capacitor.leakage_resistance is not None:
+            capacitor.step_leakage(dt)
         self._refresh_state()
         return self.is_on
 
@@ -280,8 +292,12 @@ class PowerSystem:
             return False  # regulator cut-off edge: take the slow path
         # Inside the window the source is constant and call-free, so
         # sampling at t0 is the value every step would see.
-        voc = source.open_circuit_voltage(t0)
-        rs = source.source_resistance(t0)
+        thevenin = getattr(source, "thevenin", None)
+        if thevenin is not None:
+            voc, rs = thevenin(t0)
+        else:
+            voc = source.open_circuit_voltage(t0)
+            rs = source.source_resistance(t0)
         net_load = self.regulator.input_current(v, 0.0) - self._injected_current
         capacitance = cap.capacitance
         vmax = cap.max_voltage
@@ -322,7 +338,10 @@ class PowerSystem:
         # Defence in depth against boundary rounding in hold_until():
         # the source must still read back the sampled conditions at the
         # end of the window, else discard the batch and replay slowly.
-        if (
+        if thevenin is not None:
+            if thevenin(t) != (voc, rs):
+                return False
+        elif (
             source.open_circuit_voltage(t) != voc
             or source.source_resistance(t) != rs
         ):

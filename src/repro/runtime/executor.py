@@ -118,9 +118,10 @@ class IntermittentExecutor:
     # -- the intermittent loop -------------------------------------------------
     def run(
         self,
-        duration: float,
+        duration: float | None = None,
         max_boots: int | None = None,
         stop_on_fault: bool = False,
+        until: float | None = None,
     ) -> RunResult:
         """Run intermittently for ``duration`` seconds of simulated time.
 
@@ -134,10 +135,19 @@ class IntermittentExecutor:
             Return as soon as the first memory fault occurs instead of
             letting the device keep crash-looping (the paper's symptom
             phase); the fault is recorded either way.
+        until:
+            Absolute simulated-time deadline, mutually exclusive with
+            ``duration``.  Resuming a paused run needs this: re-deriving
+            the deadline as ``now + (deadline - now)`` is not bit-exact
+            in float arithmetic, and the snapshot/fork machinery's
+            byte-identical contract hinges on landing on the *same*
+            deadline every segment.
         """
+        if (duration is None) == (until is None):
+            raise ValueError("pass exactly one of duration= or until=")
         if not self._flashed:
             self.flash()
-        deadline = self.sim.now + duration
+        deadline = until if until is not None else self.sim.now + duration
         self.device.stop_after = deadline
         start_reboots = self.device.reboot_count
         boots = 0

@@ -15,7 +15,6 @@ insertion sequence).
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Callable
@@ -49,6 +48,7 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     period: float | None = field(compare=False, default=None)
     cancelled: bool = field(compare=False, default=False)
+    host: bool = field(compare=False, default=False)
 
     def cancel(self) -> None:
         """Prevent the event (and its periodic reschedules) from firing."""
@@ -74,7 +74,10 @@ class Simulator:
     def __init__(self, seed: int = 0) -> None:
         self._now = 0.0
         self._queue: list[Event] = []
-        self._seq = itertools.count()
+        # A plain int (not itertools.count): the sequence position is part
+        # of the deterministic event ordering, so snapshots must be able
+        # to capture and restore it exactly.
+        self._seq = 0
         self.trace = TraceRecorder(clock=lambda: self._now)
         self.rng = RngHub(seed)
         self._stop_reason: str | None = None
@@ -192,23 +195,41 @@ class Simulator:
         return self._stop_reason
 
     # -- scheduling -------------------------------------------------------
-    def call_at(self, t: float, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` to fire once at absolute time ``t``."""
+    def call_at(
+        self, t: float, callback: Callable[[], None], *, host: bool = False
+    ) -> Event:
+        """Schedule ``callback`` to fire once at absolute time ``t``.
+
+        ``host=True`` marks the event as *host-side* — bookkeeping that
+        belongs to the machine running the simulation (wall-clock
+        watchdog polls, progress reporting) rather than to the simulated
+        world.  Host events never enter snapshots: they are not captured
+        by :meth:`export_events` and survive a restore untouched.
+        """
         if not self._now <= t < math.inf:
             raise ValueError(
                 f"cannot schedule in the past or at a non-finite instant "
                 f"({t!r} vs now={self._now})"
             )
-        event = Event(time=t, seq=next(self._seq), callback=callback)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time=t, seq=seq, callback=callback, host=host)
         heapq.heappush(self._queue, event)
         return event
 
-    def call_after(self, delay: float, callback: Callable[[], None]) -> Event:
+    def call_after(
+        self, delay: float, callback: Callable[[], None], *, host: bool = False
+    ) -> Event:
         """Schedule ``callback`` to fire once ``delay`` seconds from now."""
-        return self.call_at(self._now + delay, callback)
+        return self.call_at(self._now + delay, callback, host=host)
 
     def call_every(
-        self, period: float, callback: Callable[[], None], start: float | None = None
+        self,
+        period: float,
+        callback: Callable[[], None],
+        start: float | None = None,
+        *,
+        host: bool = False,
     ) -> Event:
         """Schedule ``callback`` to fire every ``period`` seconds.
 
@@ -216,6 +237,8 @@ class Simulator:
         one full period from now.  ``start`` must not lie in the past —
         the same guard :meth:`call_at` enforces.  Returns the
         :class:`Event`; call its ``cancel()`` to stop the recurrence.
+        ``host=True`` marks the recurrence as host-side state that
+        snapshots must ignore (see :meth:`call_at`).
         """
         if not 0.0 < period < math.inf:  # also rejects NaN
             raise ValueError(f"period must be positive and finite (got {period})")
@@ -225,8 +248,10 @@ class Simulator:
                 f"({start!r} vs now={self._now})"
             )
         first = start if start is not None else self._now + period
+        seq = self._seq
+        self._seq = seq + 1
         event = Event(
-            time=first, seq=next(self._seq), callback=callback, period=period
+            time=first, seq=seq, callback=callback, period=period, host=host
         )
         heapq.heappush(self._queue, event)
         return event
@@ -234,3 +259,40 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events still queued."""
         return sum(1 for e in self._queue if not e.cancelled)
+
+    # -- snapshot support -------------------------------------------------
+    #
+    # Callbacks are captured *by reference*: snapshots live in-process
+    # and fork within the same worker, so the closures stay valid.  Host
+    # events (wall-clock watchdog polls and the like) are excluded on
+    # capture and preserved across restore — they describe the machine
+    # running the simulation, not the simulated world.
+
+    def export_events(self) -> list[tuple]:
+        """The live simulated event queue as restorable tuples.
+
+        Cancelled events are dropped (they would be skipped anyway) and
+        host-side events are excluded — see :meth:`call_at`.
+        """
+        return [
+            (e.time, e.seq, e.callback, e.period)
+            for e in sorted(self._queue)
+            if not (e.cancelled or e.host)
+        ]
+
+    def restore_events(self, exported: list[tuple]) -> None:
+        """Replace the simulated event queue with an exported one.
+
+        Live host-side events currently queued are kept: a restore
+        rewinds the simulated world, not the host's bookkeeping.
+        Callers must restore the clock (``_now``) and sequence counter
+        before or after this call via :class:`repro.snapshot` — this
+        method only rebuilds the heap.
+        """
+        queue = [
+            Event(time=t, seq=seq, callback=cb, period=period)
+            for (t, seq, cb, period) in exported
+        ]
+        queue.extend(e for e in self._queue if e.host and not e.cancelled)
+        heapq.heapify(queue)
+        self._queue = queue

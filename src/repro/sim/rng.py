@@ -58,6 +58,18 @@ class RngHub:
             raise ValueError(f"probability out of range: {probability}")
         return self.stream(name).random() < probability
 
+    @property
+    def untouched(self) -> bool:
+        """True while no consumer has ever requested a stream.
+
+        Streams are created lazily on first draw, so an untouched hub
+        proves the simulation consumed zero randomness — which makes its
+        trajectory independent of the master seed.  The snapshot/fork
+        execution paths use this as their honesty check before reusing
+        one seeded simulation on behalf of differently seeded runs.
+        """
+        return not self._streams
+
     def derive(self, *parts: object) -> int:
         """A child seed derived from this hub's seed and ``parts``."""
         return derive_seed(self.seed, *parts)

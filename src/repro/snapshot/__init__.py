@@ -1,0 +1,378 @@
+"""Deterministic whole-device snapshot/restore.
+
+EDB's core trick is manipulating target state without re-running the
+target from reset; this package is the simulator-side rendition.  A
+:class:`DeviceSnapshot` captures *everything* the simulated world can
+observe — CPU registers, SRAM/FRAM contents, GPIO/ADC/UART/I2C
+peripheral state, the capacitor voltage and comparator state, the
+harvester's fading stream position, every RNG stream, the simulation
+clock and the pending-event queue — so that restoring it and resuming
+execution is bit-identical to never having stopped.  That is the same
+correctness bar the campaign engine's byte-identical reports impose,
+and it is enforced by the property tests in ``tests/test_snapshot.py``.
+
+Two capture modes:
+
+- **Full** (``tracker=None``): every memory page is copied.
+- **Differential** (with a :class:`DirtyTracker`): dirty pages are
+  tracked through the memory map's write observers (plus the explicit
+  out-of-band channel for region-level writes such as the campaign's
+  ``StateCorruptor``), so successive snapshots copy only what changed
+  — the DiCA-style cheap-capture discipline.  Clean pages are shared
+  by reference between snapshots; pages are immutable ``bytes``.
+
+Deliberately *not* captured:
+
+- host-side state — wall-clock watchdog polls, journal writers,
+  progress callbacks.  Simulator events registered with ``host=True``
+  are excluded from capture and survive a restore untouched;
+- hook/listener registrations (``on_reboot``, ``post_work_hooks``,
+  write observers, trace listeners): those are wiring, not state.
+  Stateful hook owners (the campaign's fault injectors) expose their
+  own ``export_state``/``restore_state`` and are handled by callers;
+- callbacks in the event queue are captured *by reference*: snapshots
+  live in-process and fork within one worker, so closures stay valid.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.mcu.device import TargetDevice
+from repro.mcu.memory import MemoryMap, MemoryRegion
+
+#: Page granularity of dirty tracking; matches the memory map's
+#: address->region page table so one shift serves both.
+PAGE_SHIFT = MemoryMap.PAGE_SHIFT
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+#: Mutable electrical/environment attributes an energy source may carry.
+#: Captured with ``getattr`` and restored with ``setattr`` so every
+#: source model (RF, solar, constant-current, tether, trace-driven) is
+#: covered without each one knowing about snapshots.  Derived caches
+#: (e.g. the RF harvester's base-power cache) are keyed on their inputs
+#: and therefore self-correct after a restore.
+_SOURCE_ATTRS = (
+    "_fade_db",
+    "_fade_until",
+    "enabled",
+    "tx_power_dbm",
+    "distance_m",
+    "efficiency",
+    "open_voltage",
+    "reference_gain",
+    "fading_sigma",
+    "duty_period",
+    "duty_fraction",
+    "irradiance_w_m2",
+    "area_m2",
+    "current_a",
+    "compliance_v",
+    "voltage",
+    "resistance",
+)
+
+_MISSING = object()
+
+
+def _pages_of(region: MemoryRegion) -> list[bytes]:
+    """Slice a region's contents into immutable pages."""
+    data = region._data
+    return [
+        bytes(data[offset : offset + PAGE_SIZE])
+        for offset in range(0, region.size, PAGE_SIZE)
+    ]
+
+
+class DirtyTracker:
+    """Dirty-page bookkeeping for differential capture.
+
+    Attach one tracker per memory map; it registers on the map's write
+    observers (seeing every map-level store and the whole-region
+    notifications of ``clear_volatile``) and on the out-of-band channel
+    (:meth:`MemoryMap.notify_out_of_band`) that region-level writers
+    use.  :meth:`snapshot_pages` then copies only pages written since
+    the previous capture, sharing every clean page with it.
+    """
+
+    def __init__(self, memory: MemoryMap) -> None:
+        self.memory = memory
+        self._pages: dict[str, list[bytes]] = {
+            region.name: _pages_of(region) for region in memory.regions
+        }
+        self._dirty: dict[str, set[int]] = {
+            region.name: set() for region in memory.regions
+        }
+        memory.write_observers.append(self._observe)
+        memory.oob_write_observers.append(self._observe)
+
+    def _observe(self, address: int, width: int) -> None:
+        for region in self.memory.regions:
+            if region.base <= address < region.end:
+                first = (address - region.base) >> PAGE_SHIFT
+                last = (address + width - 1 - region.base) >> PAGE_SHIFT
+                self._dirty[region.name].update(range(first, last + 1))
+                return
+
+    def mark_all_dirty(self) -> None:
+        """Assume every page changed (after unobserved bulk mutation)."""
+        for region in self.memory.regions:
+            count = (region.size + PAGE_SIZE - 1) >> PAGE_SHIFT
+            self._dirty[region.name] = set(range(count))
+
+    def snapshot_pages(self) -> dict[str, tuple[bytes, ...]]:
+        """Current contents as pages, re-copying only dirty ones."""
+        out: dict[str, tuple[bytes, ...]] = {}
+        for region in self.memory.regions:
+            pages = self._pages[region.name]
+            dirty = self._dirty[region.name]
+            if dirty:
+                data = region._data
+                for index in dirty:
+                    offset = index << PAGE_SHIFT
+                    pages[index] = bytes(data[offset : offset + PAGE_SIZE])
+                dirty.clear()
+            out[region.name] = tuple(pages)
+        return out
+
+    def resync(self, pages: dict[str, tuple[bytes, ...]]) -> None:
+        """Adopt restored contents as the new clean baseline."""
+        for name, region_pages in pages.items():
+            self._pages[name] = list(region_pages)
+            self._dirty[name].clear()
+
+    def remove(self) -> None:
+        """Detach from the memory map's observer lists (idempotent)."""
+        for observers in (
+            self.memory.write_observers,
+            self.memory.oob_write_observers,
+        ):
+            if self._observe in observers:
+                observers.remove(self._observe)
+
+
+class DeviceSnapshot:
+    """One captured world state; see :func:`capture` / :func:`restore`."""
+
+    __slots__ = (
+        "sim_now",
+        "sim_seq",
+        "sim_stop_reason",
+        "sim_events",
+        "rng_states",
+        "trace_lengths",
+        "trace_enabled",
+        "memory_pages",
+        "memory_counters",
+        "cpu_registers",
+        "cpu_retired",
+        "cpu_halted",
+        "gpio_pins",
+        "uart_state",
+        "debug_uart_state",
+        "i2c_transactions",
+        "adc_samples",
+        "line_states",
+        "cycles_executed",
+        "reboot_count",
+        "energy_consumed",
+        "stop_after",
+        "in_hook",
+        "power_state",
+        "power_reboots",
+        "power_turn_ons",
+        "injected_current",
+        "cap_voltage",
+        "tether",
+        "source_attrs",
+        "tether_attrs",
+    )
+
+
+def _capture_source_attrs(source: Any) -> tuple[tuple[str, Any], ...]:
+    attrs = []
+    for name in _SOURCE_ATTRS:
+        value = getattr(source, name, _MISSING)
+        if value is not _MISSING:
+            attrs.append((name, value))
+    return tuple(attrs)
+
+
+def _restore_source_attrs(source: Any, attrs: tuple[tuple[str, Any], ...]) -> None:
+    for name, value in attrs:
+        setattr(source, name, value)
+
+
+def capture(
+    device: TargetDevice, tracker: DirtyTracker | None = None
+) -> DeviceSnapshot:
+    """Capture the complete simulated-world state of ``device``.
+
+    With a ``tracker`` (attached to ``device.memory``), memory capture
+    is differential: only pages written since the tracker's previous
+    capture are copied.  Host-side simulator events are excluded.
+    """
+    sim = device.sim
+    snap = DeviceSnapshot()
+    snap.sim_now = sim._now
+    snap.sim_seq = sim._seq
+    snap.sim_stop_reason = sim._stop_reason
+    snap.sim_events = sim.export_events()
+    snap.rng_states = {
+        name: stream.getstate() for name, stream in sim.rng._streams.items()
+    }
+    snap.trace_lengths = {
+        name: len(events) for name, events in sim.trace._channels.items()
+    }
+    snap.trace_enabled = sim.trace.enabled
+
+    if tracker is not None:
+        snap.memory_pages = tracker.snapshot_pages()
+    else:
+        snap.memory_pages = {
+            region.name: tuple(_pages_of(region))
+            for region in device.memory.regions
+        }
+    snap.memory_counters = {
+        region.name: (region.reads, region.writes)
+        for region in device.memory.regions
+    }
+
+    cpu = device.cpu
+    snap.cpu_registers = tuple(cpu.registers)
+    snap.cpu_retired = cpu.instructions_retired
+    snap.cpu_halted = cpu.halted
+
+    snap.gpio_pins = {
+        name: (pin.state, pin.toggles)
+        for name, pin in device.gpio._pins.items()
+    }
+    snap.uart_state = (
+        bytes(device.uart._rx_queue),
+        device.uart.bytes_transmitted,
+        device.uart.bytes_received,
+    )
+    snap.debug_uart_state = (
+        bytes(device.debug_uart._rx_queue),
+        device.debug_uart.bytes_transmitted,
+        device.debug_uart.bytes_received,
+    )
+    snap.i2c_transactions = device.i2c.transactions
+    snap.adc_samples = device.adc.samples_taken
+    snap.line_states = tuple(
+        (line._state, line.transitions)
+        for line in (*device.marker_lines, device.debug_signal)
+    )
+
+    snap.cycles_executed = device.cycles_executed
+    snap.reboot_count = device.reboot_count
+    snap.energy_consumed = device.energy_consumed
+    snap.stop_after = device.stop_after
+    snap.in_hook = device._in_hook
+
+    power = device.power
+    snap.power_state = power._state
+    snap.power_reboots = power.reboots
+    snap.power_turn_ons = power.turn_ons
+    snap.injected_current = power._injected_current
+    snap.cap_voltage = power.capacitor._voltage
+    snap.tether = power._tether
+    snap.source_attrs = _capture_source_attrs(power.source)
+    snap.tether_attrs = (
+        _capture_source_attrs(power._tether)
+        if power._tether is not None
+        else ()
+    )
+    return snap
+
+
+def restore(
+    device: TargetDevice,
+    snap: DeviceSnapshot,
+    tracker: DirtyTracker | None = None,
+) -> None:
+    """Rewind ``device`` (and its simulator) to a captured state.
+
+    Derived caches — the CPU's decoded-instruction cache, the GPIO load
+    current sum — are invalidated; they rebuild lazily and are keyed on
+    the restored state.  Live host-side simulator events are preserved.
+    """
+    sim = device.sim
+    sim._now = snap.sim_now
+    sim._seq = snap.sim_seq
+    sim._stop_reason = snap.sim_stop_reason
+    sim.restore_events(snap.sim_events)
+
+    streams = {}
+    import random as _random
+
+    for name, state in snap.rng_states.items():
+        stream = _random.Random()
+        stream.setstate(state)
+        streams[name] = stream
+    # Streams created after the capture are dropped: re-creating them
+    # on demand re-derives the same seed, so draws replay identically.
+    sim.rng._streams = streams
+
+    channels = sim.trace._channels
+    for name in list(channels):
+        length = snap.trace_lengths.get(name)
+        if length is None:
+            del channels[name]
+        else:
+            del channels[name][length:]
+    sim.trace.enabled = snap.trace_enabled
+
+    for region in device.memory.regions:
+        pages = snap.memory_pages[region.name]
+        region._data[:] = b"".join(pages)
+        region.reads, region.writes = snap.memory_counters[region.name]
+    if tracker is not None:
+        tracker.resync(snap.memory_pages)
+    # Memory changed behind the map's observers: decoded instructions
+    # may describe bytes that no longer exist.
+    device.cpu.invalidate_decode_cache()
+
+    cpu = device.cpu
+    cpu.registers[:] = snap.cpu_registers
+    cpu.instructions_retired = snap.cpu_retired
+    cpu.halted = snap.cpu_halted
+
+    gpio = device.gpio
+    for name, (state, toggles) in snap.gpio_pins.items():
+        pin = gpio._pins[name]
+        pin.state = state
+        pin.toggles = toggles
+    gpio._load_current_cache = None
+
+    for uart, (rx, tx_count, rx_count) in (
+        (device.uart, snap.uart_state),
+        (device.debug_uart, snap.debug_uart_state),
+    ):
+        uart._rx_queue[:] = rx
+        uart.bytes_transmitted = tx_count
+        uart.bytes_received = rx_count
+    device.i2c.transactions = snap.i2c_transactions
+    device.adc.samples_taken = snap.adc_samples
+    for line, (state, transitions) in zip(
+        (*device.marker_lines, device.debug_signal), snap.line_states
+    ):
+        line._state = state
+        line.transitions = transitions
+
+    device.cycles_executed = snap.cycles_executed
+    device.reboot_count = snap.reboot_count
+    device.energy_consumed = snap.energy_consumed
+    device.stop_after = snap.stop_after
+    device._in_hook = snap.in_hook
+
+    power = device.power
+    power._state = snap.power_state
+    power.reboots = snap.power_reboots
+    power.turn_ons = snap.power_turn_ons
+    power._injected_current = snap.injected_current
+    power.capacitor._voltage = snap.cap_voltage
+    power._tether = snap.tether
+    _restore_source_attrs(power.source, snap.source_attrs)
+    if snap.tether is not None:
+        _restore_source_attrs(snap.tether, snap.tether_attrs)

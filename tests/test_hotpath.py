@@ -263,7 +263,9 @@ def test_campaign_report_is_byte_identical_to_golden():
 def test_perf_harness_smoke():
     """A scaled-down benchmark run produces well-formed results."""
     results = run_all(scale=0.02)
-    assert set(results) == {"isa_throughput", "charge_discharge", "campaign"}
+    assert set(results) == {
+        "isa_throughput", "charge_discharge", "campaign", "snapshot_fork",
+    }
     for result in results.values():
         payload = result.to_dict()
         assert payload["value"] > 0
