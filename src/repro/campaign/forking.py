@@ -126,6 +126,7 @@ def continuous_observation(
     if hit is not None:
         return hit
     sim = Simulator(seed=leg_seed)
+    sim.trace.enabled = False  # see runner.run_intermittent_leg
     target = make_fast_target(sim)
     program = adapter.build(config.protect, config.iterations)
     executor = IntermittentExecutor(sim, target, program)
@@ -199,6 +200,9 @@ class ForkSession:
         self.adapter = adapter
         self.mode = mode
         self.sim = Simulator(seed=sim_seed)
+        # Campaign legs never read the trace store; see
+        # runner.run_intermittent_leg.
+        self.sim.trace.enabled = False
         self.target = make_target(self.sim)
         self.program = adapter.build(config.protect, config.iterations)
         self.executor = IntermittentExecutor(self.sim, self.target, self.program)

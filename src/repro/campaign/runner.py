@@ -75,6 +75,12 @@ def run_intermittent_leg(
     boot), and the number of injected brown-outs.
     """
     sim = Simulator(seed=leg_seed)
+    # Campaign legs never read the trace store (observations come from
+    # the adapter and the recorder hooks); heartbeat GPIO edges and
+    # power transitions record at a rate that is measurable across a
+    # fleet, so keep the channel dark.  The capture replay, which DOES
+    # consume traces, builds its own simulator with tracing on.
+    sim.trace.enabled = False
     target = make_fast_target(
         sim, distance_m=plan.distance_m, fading_sigma=plan.fading_sigma
     )
@@ -106,6 +112,7 @@ def run_continuous_leg(
 ) -> Observation:
     """The control: the same program on continuous (tethered) power."""
     sim = Simulator(seed=leg_seed)
+    sim.trace.enabled = False  # see run_intermittent_leg
     target = make_fast_target(sim)
     program = adapter.build(config.protect, config.iterations)
     executor = IntermittentExecutor(sim, target, program)
@@ -126,6 +133,7 @@ def replay_with_schedule(
     or it does not — the exact property the shrinker needs.
     """
     sim = Simulator(seed=derive_seed(config.seed, "replay"))
+    sim.trace.enabled = False  # see run_intermittent_leg
     target = make_bench_target(sim)
     program = adapter.build(config.protect, config.iterations)
     executor = IntermittentExecutor(sim, target, program)

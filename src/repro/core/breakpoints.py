@@ -10,6 +10,15 @@ Three trigger conditions:
   is at or below the threshold — the primitive the paper highlights for
   catching "problematic iterations when more energy was consumed than
   expected or when the device is about to brown out".
+
+Block-translation interplay: every trigger here keys on code-marker
+ids, and ``MARK`` is untranslatable — the CPU's basic-block cache ends
+a block *before* any marker, so registrations in this module never need
+cache invalidation and fire bit-identically with the cache on or off.
+Raw-PC watches (which *do* require excluding an address from block
+translation) go through :meth:`repro.core.debugger.EDB.watch_pc`, which
+forwards to :meth:`repro.mcu.cpu.Cpu.add_watch_pc` for targeted
+invalidation of overlapping blocks.
 """
 
 from __future__ import annotations

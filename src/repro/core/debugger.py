@@ -56,6 +56,7 @@ class EDB:
             lambda event: InteractiveSession(self.board, event)
         )
         self._libedb: LibEDB | None = None
+        self._watched_pcs: set[int] = set()
 
     # -- linking the target-side library ----------------------------------
     def libedb(self) -> LibEDB:
@@ -99,6 +100,31 @@ class EDB:
         bp = self.breakpoints.add_energy(threshold_v, one_shot=one_shot)
         self.board.arm_energy_sampling()
         return bp
+
+    # -- ISA-level PC watches ----------------------------------------------
+    #
+    # Marker breakpoints need no cache plumbing: MARK instructions are
+    # untranslatable, so a block always ends before one and the marker
+    # hook observes plain single-stepping.  Raw-PC watches are different
+    # — an arbitrary address may sit mid-block — so registration is
+    # forwarded to the CPU, which excludes the address from block
+    # translation (targeted invalidation: only blocks overlapping the
+    # watch are dropped and retranslated, via the per-page block index).
+    def watch_pc(self, pc: int) -> None:
+        """Single-step through ``pc``: every hook/trace sees it exactly.
+
+        Forwarded to :meth:`repro.mcu.cpu.Cpu.add_watch_pc`; the CPU
+        stops translating blocks across the address, so PC-matching
+        instrumentation fires exactly as it would without the block
+        cache.
+        """
+        self._watched_pcs.add(pc & 0xFFFF)
+        self.device.cpu.add_watch_pc(pc)
+
+    def unwatch_pc(self, pc: int) -> None:
+        """Remove a raw-PC watch and re-allow block translation."""
+        self._watched_pcs.discard(pc & 0xFFFF)
+        self.device.cpu.remove_watch_pc(pc)
 
     def break_combined(
         self, breakpoint_id: int, threshold_v: float, one_shot: bool = False
@@ -181,4 +207,7 @@ class EDB:
 
     def detach(self) -> None:
         """Physically disconnect from the target."""
+        for pc in list(self._watched_pcs):
+            self.device.cpu.remove_watch_pc(pc)
+        self._watched_pcs.clear()
         self.board.detach()

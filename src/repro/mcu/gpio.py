@@ -30,6 +30,7 @@ class Pin:
     load_current: float = 0.0  # extra supply draw while high (amperes)
     listeners: list[Callable[[str, bool], None]] = field(default_factory=list)
     toggles: int = 0
+    channel: str = ""  # precomputed trace channel ("gpio.<name>")
 
 
 class GpioPort:
@@ -53,32 +54,47 @@ class GpioPort:
         """Declare a pin; returns the :class:`Pin` record."""
         if name in self._pins:
             raise ValueError(f"pin {name!r} already exists")
-        pin = Pin(name=name, load_current=load_current)
+        pin = Pin(
+            name=name,
+            load_current=load_current,
+            channel=f"{self.trace_channel}.{name}",
+        )
         self._pins[name] = pin
         self._load_current_cache = None
         return pin
 
     def pin(self, name: str) -> Pin:
         """Look up a pin, creating it on first use."""
-        if name not in self._pins:
-            self.add_pin(name)
-        return self._pins[name]
+        pin = self._pins.get(name)
+        if pin is None:
+            pin = self.add_pin(name)
+        return pin
 
     def write(self, name: str, state: bool) -> None:
         """Drive a pin high or low, notifying listeners on a change."""
-        pin = self.pin(name)
+        pin = self._pins.get(name)
+        if pin is None:
+            pin = self.add_pin(name)
         if pin.state == state:
             return
         pin.state = state
         pin.toggles += 1
-        self._load_current_cache = None
-        self.sim.trace.record(f"{self.trace_channel}.{name}", state)
+        if pin.load_current != 0.0:
+            # A zero-load edge cannot change the load sum's value
+            # (x + 0.0 == x for the non-negative loads pins carry), so
+            # the cache — and everything keyed off it, notably the
+            # device's energy fast path — stays exact without a flush.
+            self._load_current_cache = None
+        self.sim.trace.record(pin.channel, state)
         for listener in pin.listeners:
             listener(name, state)
 
     def toggle(self, name: str) -> None:
         """Invert a pin's state."""
-        self.write(name, not self.pin(name).state)
+        pin = self._pins.get(name)
+        if pin is None:
+            pin = self.add_pin(name)
+        self.write(name, not pin.state)
 
     def read(self, name: str) -> bool:
         """Current state of a pin."""

@@ -80,6 +80,15 @@ class DeviceAPI:
         self._nv_vars: dict[str, tuple[int, int]] = {}
         self._sram_cursor = SRAM_BASE
         self._sram_vars: dict[str, tuple[int, int]] = {}
+        # Hot-path handles: compute/branch/load/store run once per
+        # high-level operation, so the attribute chain is worth hoisting.
+        self._execute_cycles = device.execute_cycles
+        self._region_at = device.memory.region_at
+        # Inline last-region cache for the word accessors.  Regions are
+        # fixed for the map's lifetime, so a cached hit only needs the
+        # bounds check; straddles and misses fall through to the map's
+        # canonical lookup (which also raises the canonical faults).
+        self._last_region = None
 
     # -- static allocation (the "linker") -----------------------------------
     def nv_var(self, name: str, size: int = 2) -> int:
@@ -129,24 +138,34 @@ class DeviceAPI:
     # -- computation ----------------------------------------------------------
     def compute(self, cycles: int = COST_COMPUTE) -> None:
         """Burn pure-computation cycles (ALU work, loop overhead)."""
-        self.device.execute_cycles(cycles)
+        self._execute_cycles(cycles)
 
     def branch(self) -> None:
         """Cost of a conditional branch."""
-        self.device.execute_cycles(COST_BRANCH)
+        self._execute_cycles(COST_BRANCH)
 
     # -- memory ------------------------------------------------------------------
     def load_u16(self, address: int) -> int:
         """Load a word from target memory (cost depends on region)."""
-        region = self.device.memory.region_at(address, 2)
-        self.device.execute_cycles(COST_LOAD + region.read_cycles)
+        region = self._last_region
+        if region is None or not (
+            region.base <= address and address + 2 <= region.end
+        ):
+            region = self._region_at(address, 2)
+            self._last_region = region
+        self._execute_cycles(COST_LOAD + region.read_cycles)
         return region.read_u16(address)
 
     def store_u16(self, address: int, value: int) -> None:
         """Store a word to target memory (cost depends on region)."""
         memory = self.device.memory
-        region = memory.region_at(address, 2)
-        self.device.execute_cycles(COST_STORE + region.write_cycles)
+        region = self._last_region
+        if region is None or not (
+            region.base <= address and address + 2 <= region.end
+        ):
+            region = self._region_at(address, 2)
+            self._last_region = region
+        self._execute_cycles(COST_STORE + region.write_cycles)
         # Write through the already-resolved region, but keep the map's
         # write notification: dirty-page tracking and commit-boundary
         # counting both hang off it.

@@ -310,3 +310,50 @@ def decode(fetch, address: int) -> tuple[Instruction, int]:
     except ValueError as exc:
         raise DecodeError(f"malformed instruction at 0x{address:04X}: {exc}") from exc
     return instruction, offset - address
+
+
+# -- worst-case cycle bounds -------------------------------------------------
+#
+# Memory regions charge at most this many cycles per 16-bit access (FRAM
+# read/write cost 3, SRAM 1).  Only worst-case reasoning uses it — exact
+# accounting always asks the touched region.
+_MAX_ACCESS_CYCLES = 3
+
+_RMW_OPS = frozenset(
+    {
+        Op.ADD,
+        Op.SUB,
+        Op.AND,
+        Op.OR,
+        Op.XOR,
+        Op.INC,
+        Op.DEC,
+        Op.SHL,
+        Op.SHR,
+        Op.SWPB,
+        Op.INV,
+    }
+)
+_MEM_MODES = frozenset({Mode.ABS, Mode.IDX, Mode.IND})
+_STACK_OPS = frozenset({Op.PUSH, Op.POP, Op.CALL, Op.RET})
+
+
+def worst_case_cycles(ins: Instruction) -> int:
+    """Upper bound on the cycles one execution of ``ins`` can spend.
+
+    ``Instruction.cycles()`` is the base cost the CPU charges up front;
+    memory-mode operands and stack traffic additionally charge the
+    touched region's access cycles at execution time.  This bounds the
+    total assuming every access hits the slowest region.  The bound
+    feeds the block translation cache's energy guard, which is advisory
+    only — an over-estimate merely costs a harmless deoptimization.
+    """
+    accesses = 0
+    if ins.src.mode in _MEM_MODES:
+        accesses += 1
+    if ins.dst.mode in _MEM_MODES:
+        # Read-modify-write destinations pay a read and a write.
+        accesses += 2 if ins.op in _RMW_OPS else 1
+    if ins.op in _STACK_OPS:
+        accesses += 1
+    return ins.cycles() + _MAX_ACCESS_CYCLES * accesses

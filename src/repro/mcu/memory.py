@@ -65,6 +65,10 @@ class MemoryRegion:
         self.name = name
         self.base = base
         self.size = size
+        # One past the last mapped address.  A plain attribute, not a
+        # property: bounds checks read it on every access and the
+        # descriptor-call overhead is measurable in campaign profiles.
+        self.end = base + size
         self.volatile = volatile
         self.read_cycles = read_cycles
         self.write_cycles = write_cycles
@@ -72,23 +76,18 @@ class MemoryRegion:
         self.writes = 0
         self.reads = 0
 
-    @property
-    def end(self) -> int:
-        """One past the last mapped address."""
-        return self.base + self.size
-
     def contains(self, address: int, width: int = 1) -> bool:
         """True if ``[address, address+width)`` lies inside the region."""
         return self.base <= address and address + width <= self.end
 
     def _offset(self, address: int, width: int) -> int:
-        if not self.contains(address, width):
-            raise MemoryFault(
-                f"access of {width} byte(s) at 0x{address:04X} escapes "
-                f"region '{self.name}' [0x{self.base:04X}, 0x{self.end:04X})",
-                address=address,
-            )
-        return address - self.base
+        if self.base <= address and address + width <= self.end:
+            return address - self.base
+        raise MemoryFault(
+            f"access of {width} byte(s) at 0x{address:04X} escapes "
+            f"region '{self.name}' [0x{self.base:04X}, 0x{self.end:04X})",
+            address=address,
+        )
 
     def read_u8(self, address: int) -> int:
         """Read one byte."""
@@ -106,9 +105,14 @@ class MemoryRegion:
             raise MemoryFault(
                 f"misaligned word read at 0x{address:04X}", address=address
             )
-        offset = self._offset(address, 2)
-        self.reads += 1
-        return self._data[offset] | (self._data[offset + 1] << 8)
+        base = self.base
+        if base <= address and address + 2 <= self.end:
+            offset = address - base
+            self.reads += 1
+            data = self._data
+            return data[offset] | (data[offset + 1] << 8)
+        self._offset(address, 2)  # raises the canonical escape fault
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def write_u16(self, address: int, value: int) -> None:
         """Write one little-endian 16-bit word (must be 2-byte aligned)."""
@@ -116,10 +120,16 @@ class MemoryRegion:
             raise MemoryFault(
                 f"misaligned word write at 0x{address:04X}", address=address
             )
-        offset = self._offset(address, 2)
-        self.writes += 1
-        self._data[offset] = value & 0xFF
-        self._data[offset + 1] = (value >> 8) & 0xFF
+        base = self.base
+        if base <= address and address + 2 <= self.end:
+            offset = address - base
+            self.writes += 1
+            data = self._data
+            data[offset] = value & 0xFF
+            data[offset + 1] = (value >> 8) & 0xFF
+            return
+        self._offset(address, 2)  # raises the canonical escape fault
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def read_bytes(self, address: int, count: int) -> bytes:
         """Read ``count`` raw bytes."""
@@ -135,8 +145,7 @@ class MemoryRegion:
 
     def clear(self) -> None:
         """Zero the region (what a power failure does to volatile RAM)."""
-        for i in range(self.size):
-            self._data[i] = 0
+        self._data[:] = bytes(self.size)
 
     def __repr__(self) -> str:
         kind = "volatile" if self.volatile else "non-volatile"

@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import subprocess
 import sys
 from pathlib import Path
 
-from repro.perf.harness import run_all
+from repro.perf.harness import BENCHMARKS, run_all
 
 #: Allowed slowdown versus the reference before --check fails.
 REGRESSION_TOLERANCE = 0.30
@@ -83,7 +85,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline", action="store_true",
         help="also write the results to the baseline path",
     )
+    parser.add_argument(
+        "--profile", metavar="NAME", default=None,
+        choices=sorted(BENCHMARKS),
+        help="run one benchmark under cProfile and print the top-20 "
+             f"cumulative hotspots (one of: {', '.join(sorted(BENCHMARKS))})",
+    )
     return parser
+
+
+def _git_revision() -> str:
+    """The working tree's commit hash, or 'unknown' outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    revision = out.stdout.strip()
+    return revision if out.returncode == 0 and revision else "unknown"
+
+
+def _host_stanza() -> dict:
+    """Provenance for BENCH_* trajectory comparisons across machines."""
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_revision": _git_revision(),
+        "block_cache": os.environ.get("REPRO_NO_BLOCKCACHE", "") in ("", "0"),
+    }
+
+
+def _profile(name: str, scale: float) -> int:
+    """Run one benchmark under cProfile; print top-20 cumulative."""
+    import cProfile
+    import pstats
+
+    bench = BENCHMARKS[name]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = bench(scale)
+    profiler.disable()
+    print(f"{name}: {result.value:.1f} {result.unit} (under profiler)\n")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(20)
+    return 0
 
 
 def _load_results(path: str | Path) -> dict | None:
@@ -138,6 +187,8 @@ def main(argv: list[str] | None = None) -> int:
     scale = args.scale if args.scale is not None else (
         QUICK_SCALE if args.quick else 1.0
     )
+    if args.profile is not None:
+        return _profile(args.profile, scale)
     results = {
         name: r.to_dict() for name, r in
         run_all(scale=scale, repeats=args.repeats).items()
@@ -146,10 +197,7 @@ def main(argv: list[str] | None = None) -> int:
     before = _load_results(args.before) if args.before else None
     payload = {
         "schema": 1,
-        "host": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-        },
+        "host": _host_stanza(),
         "results": results,
     }
     if before is not None:

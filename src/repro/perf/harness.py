@@ -71,31 +71,48 @@ class BenchResult:
         }
 
 
+def _blocks_detail(cpu) -> dict:
+    """The CPU's block-translation counter trio for ``detail`` dicts."""
+    return {
+        "translated": cpu.blocks_translated,
+        "executed": cpu.blocks_executed,
+        "deopts": cpu.blocks_deopts,
+    }
+
+
 def bench_isa_throughput(instructions: int = 60_000) -> BenchResult:
-    """Instruction retirement rate on a bench supply (no brown-outs)."""
+    """Instruction retirement rate on a bench supply (no brown-outs).
+
+    Dispatches through :meth:`Cpu.step_block` — the production path used
+    by ``run_isa`` and the intermittent ISA executor — so the number
+    reflects block-translation steady state (the ``blocks`` detail trio
+    records the translation/deopt mix; ``REPRO_NO_BLOCKCACHE=1`` turns
+    the same benchmark into a pure single-step measurement).
+    """
     sim = Simulator(seed=7)
     target = make_bench_target(sim)
     program = assemble(ISA_LOOP_SOURCE)
     target.load_program(program)
-    step = target.cpu.step
+    step_block = target.cpu.step_block
     # Warm-up: one loop body, outside the timed window.
     for _ in range(16):
-        step()
+        step_block()
     t0 = time.perf_counter()
-    for _ in range(instructions):
-        step()
+    retired = 0
+    while retired < instructions:
+        retired += step_block()
     wall = time.perf_counter() - t0
-    retired = target.cpu.instructions_retired
     return BenchResult(
         name="isa_throughput",
-        value=instructions / wall if wall > 0 else float("inf"),
+        value=retired / wall if wall > 0 else float("inf"),
         unit="instructions/s",
         wall_s=wall,
         detail={
-            "instructions": instructions,
-            "retired_total": retired,
+            "instructions": retired,
+            "retired_total": target.cpu.instructions_retired,
             "cycles_executed": target.cycles_executed,
             "sim_time_s": sim.now,
+            "blocks": _blocks_detail(target.cpu),
         },
     )
 
@@ -129,6 +146,7 @@ def bench_charge_discharge(cycles: int = 12) -> BenchResult:
             "cycles": completed,
             "sim_time_s": sim.now - sim_start,
             "reboots": target.power.reboots,
+            "blocks": _blocks_detail(target.cpu),
         },
     )
 
@@ -218,6 +236,22 @@ def bench_snapshot_fork(runs: int = 24) -> BenchResult:
     )
 
 
+#: Benchmark registry: name -> (constructor taking a workload scale).
+#: ``python -m repro.perf --profile NAME`` resolves names here.
+BENCHMARKS = {
+    "isa_throughput": lambda scale=1.0: bench_isa_throughput(
+        max(500, int(60_000 * scale))
+    ),
+    "charge_discharge": lambda scale=1.0: bench_charge_discharge(
+        max(2, int(12 * scale))
+    ),
+    "campaign": lambda scale=1.0: bench_campaign(max(1, int(6 * scale))),
+    "snapshot_fork": lambda scale=1.0: bench_snapshot_fork(
+        max(2, int(24 * scale))
+    ),
+}
+
+
 def run_all(scale: float = 1.0, repeats: int = 1) -> dict[str, BenchResult]:
     """Run every benchmark; keep the best (fastest) of ``repeats``.
 
@@ -228,17 +262,12 @@ def run_all(scale: float = 1.0, repeats: int = 1) -> dict[str, BenchResult]:
         raise ValueError(f"scale must be positive (got {scale})")
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1 (got {repeats})")
-    plans = [
-        lambda: bench_isa_throughput(max(500, int(60_000 * scale))),
-        lambda: bench_charge_discharge(max(2, int(12 * scale))),
-        lambda: bench_campaign(max(1, int(6 * scale))),
-        lambda: bench_snapshot_fork(max(2, int(24 * scale))),
-    ]
+    plans = list(BENCHMARKS.values())
     results: dict[str, BenchResult] = {}
     for plan in plans:
         best: BenchResult | None = None
         for _ in range(repeats):
-            result = plan()
+            result = plan(scale)
             if best is None or result.value > best.value:
                 best = result
         results[best.name] = best

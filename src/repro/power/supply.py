@@ -86,6 +86,21 @@ class PowerSystem:
         self.reboots = 0
         self.turn_ons = 0
         self.on_power_change: list[Callable[[PowerState], None]] = []
+        # Environment epoch: bumped whenever anything that a cached
+        # steady-state view of the supply could depend on changes out
+        # of band — tether/untether, injected current, comparator
+        # transitions and resets.  The device's fast spend window (see
+        # TargetDevice.execute_cycles) compares this counter instead of
+        # subscribing to every hook.  Code that mutates source
+        # parameters directly mid-run should call
+        # :meth:`invalidate_env`.
+        self._env_epoch = 0
+        # Per-source probe cache for the batching fast paths: the
+        # hold_until/thevenin lookups are per-*type* facts, but both
+        # probes run on every batched step and the defaulted getattr
+        # pair is measurable there.  Keyed by source identity so a
+        # tether swap naturally misses.
+        self._probe_cache: tuple | None = None
         self._refresh_state(initial=True)
 
     # -- observers --------------------------------------------------------
@@ -134,6 +149,7 @@ class PowerSystem:
         changed — it models a steady leakage operating point.
         """
         self._injected_current = current_a
+        self._env_epoch += 1
 
     @property
     def injected_current(self) -> float:
@@ -143,10 +159,22 @@ class PowerSystem:
     def tether(self, supply: EnergySource) -> None:
         """Power the target from ``supply`` instead of the harvester."""
         self._tether = supply
+        self._env_epoch += 1
 
     def untether(self) -> None:
         """Return the target to harvested power."""
         self._tether = None
+        self._env_epoch += 1
+
+    def invalidate_env(self) -> None:
+        """Declare that the electrical environment changed out of band.
+
+        Call after mutating source parameters directly (distance,
+        enablement, duty) outside a simulator event — cached
+        steady-state views of the supply are dropped and rebuilt from
+        the live values on the next step.
+        """
+        self._env_epoch += 1
 
     def force_brownout(self, margin_v: float = 0.02) -> bool:
         """Yank the capacitor just below the brown-out threshold.
@@ -170,6 +198,19 @@ class PowerSystem:
     def _active_source(self) -> EnergySource:
         return self._tether if self._tether is not None else self.source
 
+    def _source_probes(self, source: EnergySource) -> tuple:
+        """``(source, hold_until, thevenin)`` with memoized lookups."""
+        cache = self._probe_cache
+        if cache is not None and cache[0] is source:
+            return cache
+        cache = (
+            source,
+            getattr(source, "hold_until", None),
+            getattr(source, "thevenin", None),
+        )
+        self._probe_cache = cache
+        return cache
+
     def step(self, dt: float, load_current: float = 0.0) -> bool:
         """Advance the electrical state by ``dt`` with the given load.
 
@@ -188,7 +229,7 @@ class PowerSystem:
         net_load = input_current - self._injected_current
         # One source evaluation per step: thevenin() returns the exact
         # (Voc, Rs) pair the two separate accessors would.
-        thevenin = getattr(source, "thevenin", None)
+        thevenin = self._source_probes(source)[2]
         if thevenin is not None:
             voc, rs = thevenin(t)
         else:
@@ -276,7 +317,7 @@ class PowerSystem:
         one-step-at-a-time path, which handles it exactly as before.
         """
         source = self._active_source()
-        hold_until = getattr(source, "hold_until", None)
+        _, hold_until, thevenin = self._source_probes(source)
         if hold_until is None:
             return False  # unknown source model: never batch over it
         t0 = self.sim.now
@@ -292,7 +333,6 @@ class PowerSystem:
             return False  # regulator cut-off edge: take the slow path
         # Inside the window the source is constant and call-free, so
         # sampling at t0 is the value every step would see.
-        thevenin = getattr(source, "thevenin", None)
         if thevenin is not None:
             voc, rs = thevenin(t0)
         else:
@@ -363,6 +403,49 @@ class PowerSystem:
             if self.capacitor.voltage >= self.turn_on_voltage
             else PowerState.OFF
         )
+        self._env_epoch += 1
+
+    def steady_window(self) -> tuple[float, float, float, float] | None:
+        """A window in which per-step supply arithmetic is replayable.
+
+        Returns ``(voc, rs, bound, floor)``, meaning: while the
+        comparator stays ON, the clock is strictly before ``bound``, and
+        the stepped voltage stays at or above ``floor``, every supply
+        step is a pure function of ``(v, dt)`` with the returned
+        Thevenin pair — no RNG draws, no comparator transitions, no
+        trace records, no hooks.  ``floor`` is the brown-out threshold,
+        or ``-inf`` for a tethered target (a stiff supply cannot brown
+        out).  Returns ``None`` when no such window exists right now
+        (comparator OFF, an unknown source model, or source conditions
+        about to change).
+
+        ``hold_until`` is queried *before* ``thevenin`` so that a
+        pending fading redraw (hold_until returning "now") aborts the
+        probe without consuming the RNG draw — it must land on the
+        stepped path's schedule.  The bound is shrunk by a few ulps as
+        defence against boundary rounding in the sources' duty-edge
+        arithmetic (same hazard ``_charge_fast_forward`` re-verifies
+        against); the shrink only ever causes earlier slow-stepping.
+        """
+        if self._state is not PowerState.ON:
+            return None
+        source = self._active_source()
+        _, hold_until, thevenin = self._source_probes(source)
+        if hold_until is None:
+            return None  # unknown source model: never batch over it
+        t0 = self.sim.now
+        bound = hold_until(t0)
+        if bound != math.inf:
+            bound -= 8.0 * math.ulp(bound)
+        if not bound > t0:  # also rejects a NaN bound
+            return None
+        if thevenin is not None:
+            voc, rs = thevenin(t0)
+        else:
+            voc = source.open_circuit_voltage(t0)
+            rs = source.source_resistance(t0)
+        floor = -math.inf if self.is_tethered else self.brownout_voltage
+        return voc, rs, bound, floor
 
     def _refresh_state(self, initial: bool = False) -> None:
         v = self.capacitor.voltage
@@ -372,6 +455,7 @@ class PowerSystem:
             # against a mid-step dip while the tether charges the cap.
             if v < self.brownout_voltage and not self.is_tethered:
                 self._state = PowerState.OFF
+                self._env_epoch += 1
                 self.reboots += 1
                 self.sim.trace.record(f"{self.trace_channel}.brownout", v)
                 for hook in self.on_power_change:
@@ -379,6 +463,7 @@ class PowerSystem:
         else:
             if v >= self.turn_on_voltage:
                 self._state = PowerState.ON
+                self._env_epoch += 1
                 self.turn_ons += 1
                 if not initial:
                     self.sim.trace.record(f"{self.trace_channel}.turn_on", v)

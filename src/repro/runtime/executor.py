@@ -147,50 +147,57 @@ class IntermittentExecutor:
             raise ValueError("pass exactly one of duration= or until=")
         if not self._flashed:
             self.flash()
-        deadline = until if until is not None else self.sim.now + duration
-        self.device.stop_after = deadline
-        start_reboots = self.device.reboot_count
+        # Hot-path handles: a campaign boots the device hundreds of
+        # times per run, so the per-boot attribute chains are hoisted
+        # once (the same idiom as DeviceAPI's bound-method handles).
+        sim = self.sim
+        device = self.device
+        power = device.power
+        main = self.program.main
+        deadline = until if until is not None else sim.now + duration
+        device.stop_after = deadline
+        start_reboots = device.reboot_count
         boots = 0
         faults: list[str] = []
         first_fault: float | None = None
         status = RunStatus.TIMEOUT
         detail = None
         try:
-            while self.sim.now < deadline:
-                if self.sim.stop_requested:
+            while sim.now < deadline:
+                if sim.stop_requested:
                     # Resumable pause: the clock and device state are
                     # left untouched, so calling run() again continues
                     # from exactly this point (after clear_stop()).
                     status = RunStatus.INTERRUPTED
-                    detail = self.sim.stop_reason
+                    detail = sim.stop_reason
                     break
                 if max_boots is not None and boots >= max_boots:
                     break
-                if not self.device.power.is_on:
+                if not power.is_on:
                     try:
                         # Never charge (much) past the run deadline,
                         # and call a target starved if it cannot reach turn-on within a
                         # couple of seconds (organic charge times are tens of
                         # milliseconds).
-                        self.device.power.charge_until_on(
+                        power.charge_until_on(
                             timeout=min(
-                                2.0, max(0.01, deadline - self.sim.now) + 0.1
+                                2.0, max(0.01, deadline - sim.now) + 0.1
                             )
                         )
                     except ChargingTimeout as exc:
-                        if self.sim.now >= deadline:
+                        if sim.now >= deadline:
                             break
                         status = RunStatus.STARVED
                         detail = str(exc)
                         break
-                    if self.sim.now >= deadline:
+                    if sim.now >= deadline:
                         break
-                    if not self.device.power.is_on:
+                    if not power.is_on:
                         continue  # charging paused by a stop request
-                self.device.reboot()
+                device.reboot()
                 boots += 1
                 try:
-                    self.program.main(self.api)
+                    main(self.api)
                     status = RunStatus.COMPLETED
                     break
                 except ProgramComplete as exc:
@@ -202,8 +209,8 @@ class IntermittentExecutor:
                 except MemoryFault as fault:
                     faults.append(str(fault))
                     if first_fault is None:
-                        first_fault = self.sim.now
-                    self.sim.trace.record("target.fault", str(fault))
+                        first_fault = sim.now
+                    sim.trace.record("target.fault", str(fault))
                     if stop_on_fault:
                         status = RunStatus.CRASHED
                         break

@@ -27,6 +27,16 @@ class StructLayout:
     name: str
     fields: tuple[str, ...]
 
+    def __post_init__(self) -> None:
+        # Field offsets are looked up on every struct access — a linear
+        # fields.index() there is visible in campaign profiles.  The
+        # table is not a dataclass field, so eq/repr are unaffected.
+        object.__setattr__(
+            self,
+            "_offsets",
+            {name: 2 * i for i, name in enumerate(self.fields)},
+        )
+
     @property
     def size(self) -> int:
         """Struct size in bytes (all fields are 16-bit words)."""
@@ -35,8 +45,8 @@ class StructLayout:
     def offset(self, field: str) -> int:
         """Byte offset of ``field`` within the struct."""
         try:
-            return 2 * self.fields.index(field)
-        except ValueError:
+            return self._offsets[field]
+        except KeyError:
             raise KeyError(
                 f"struct {self.name!r} has no field {field!r}; "
                 f"fields are {self.fields}"

@@ -78,6 +78,14 @@ class Simulator:
         # of the deterministic event ordering, so snapshots must be able
         # to capture and restore it exactly.
         self._seq = 0
+        # Monotonic count of events actually fired (cancelled pops are
+        # not counted).  Consumers that cache state derived from "no
+        # event has run since I looked" — the device's fast-spend
+        # window — compare this counter instead of subscribing to every
+        # callback.  Deliberately not captured by snapshots: it only
+        # ever invalidates caches, and a restore invalidates them
+        # explicitly anyway.
+        self._fired = 0
         self.trace = TraceRecorder(clock=lambda: self._now)
         self.rng = RngHub(seed)
         self._stop_reason: str | None = None
@@ -137,6 +145,7 @@ class Simulator:
                 continue
             # Fire the event at its own deadline, not at the sweep end.
             self._now = max(self._now, event.time)
+            self._fired += 1
             event.callback()
             if event.period is not None and not event.cancelled:
                 event.time = event.time + event.period

@@ -44,13 +44,24 @@ class TraceRecorder:
         self.enabled = True
 
     # -- recording --------------------------------------------------------
-    def record(self, channel: str, value: Any, **meta: Any) -> TraceEvent:
-        """Record ``value`` on ``channel`` at the current simulated time."""
+    def record(self, channel: str, value: Any, **meta: Any) -> TraceEvent | None:
+        """Record ``value`` on ``channel`` at the current simulated time.
+
+        Returns the event, or ``None`` when recording is disabled and
+        the channel has no listeners — hot paths (GPIO heartbeat edges,
+        power-state transitions) record unconditionally, so skipping
+        the event construction entirely is what makes ``enabled =
+        False`` an effective kill switch for trace overhead.
+        """
+        listeners = self._listeners.get(channel)
+        if not self.enabled and not listeners:
+            return None
         event = TraceEvent(time=self._clock(), channel=channel, value=value, meta=meta)
         if self.enabled:
             self._channels[channel].append(event)
-        for listener in self._listeners.get(channel, ()):
-            listener(event)
+        if listeners:
+            for listener in listeners:
+                listener(event)
         return event
 
     def subscribe(self, channel: str, listener: Callable[[TraceEvent], None]) -> None:

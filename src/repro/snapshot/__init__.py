@@ -376,3 +376,12 @@ def restore(
     _restore_source_attrs(power.source, snap.source_attrs)
     if snap.tether is not None:
         _restore_source_attrs(snap.tether, snap.tether_attrs)
+    # The environment (clock, power state, source attributes) changed
+    # behind the caches' invalidation hooks: drop the device's memoized
+    # spend window so batched energy accounting re-derives itself from
+    # the restored state.  Translated blocks were already retired to the
+    # CPU's revival pool by ``invalidate_decode_cache`` above; the next
+    # dispatch revives each one iff its code bytes are still identical —
+    # the "cheaply rebuild" half of the snapshot contract.
+    power.invalidate_env()
+    device.invalidate_energy_window()
