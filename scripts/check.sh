@@ -17,5 +17,8 @@ export PYTHONPATH
 echo "== tier-1: pytest =="
 python -m pytest -x -q
 
+echo "== fuzz smoke: fixed-seed coverage-guided canary =="
+python -m pytest -q -m fuzz_smoke
+
 echo "== tier-1-adjacent: perf gate =="
 python -m repro.perf --check --quick --out /tmp/BENCH_perf_check.json

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.apps.fibonacci import FibonacciApp
 from repro.apps.linked_list import LinkedListApp
+from repro.apps.rfid_isa import RfidIsaFirmware
 from repro.mcu.hlapi import DeviceAPI, ProgramComplete
 from repro.runtime.nonvolatile import LIST_HEADER, NODE, NVLinkedList
 from repro.runtime.tasks import Task, TaskProgram
@@ -288,11 +289,65 @@ class ChaosAdapter:
         return [(api.nv_var("chaos.done"), 2)]
 
 
+class RfidFirmwareAdapter:
+    """The ISA-level RFID dispatch core — the fuzzer's flagship target.
+
+    Runs on the instruction core (so translated-block coverage is
+    real), takes *input*: a byte string of demodulated reader frames
+    fed through an ``IN`` port.  The default stimulus is all zeros,
+    which exercises only the checksum handler — reaching the buggy
+    paired-counter handler (and the rest of the dispatch tree) requires
+    stimulus bytes only the fuzzer's mutators produce.  The invariant
+    mirrors :class:`CounterAdapter`: a drift of two or more between the
+    paired counters means at least two lost updates, which no correct
+    execution (naive or protected, any schedule) can produce — except
+    that the naive build *can*, when two reboots land in its window.
+    """
+
+    name = "rfid_firmware"
+    invariant_keys = ("drift_ok",)
+    #: The app consumes stimulus bytes: fuzz havoc must never starve it.
+    requires_stimulus = True
+
+    def default_stimulus(self, iterations: int) -> bytes:
+        """The unfuzzed input: all-zero frames (checksum handler only)."""
+        return bytes(max(8, int(iterations)))
+
+    def build(self, protect: bool, iterations: int) -> RfidIsaFirmware:
+        return self.build_fuzz(
+            protect, iterations, self.default_stimulus(iterations)
+        )
+
+    def build_fuzz(
+        self, protect: bool, iterations: int, stimulus: bytes
+    ) -> RfidIsaFirmware:
+        return RfidIsaFirmware(protect, iterations, stimulus)
+
+    def observe(self, program, api: DeviceAPI) -> dict:
+        memory = api.device.memory
+        symbols = program.symbols
+        a = memory.read_u16(symbols["cnt_a"])
+        b = memory.read_u16(symbols["cnt_b"])
+        drift = a - b
+        return {
+            "drift_ok": 0 <= drift <= 1,
+            "a": a,
+            "b": b,
+            "crc": memory.read_u16(symbols["crc"]),
+            "commands": memory.read_u16(symbols["prog"]),
+        }
+
+    def state_ranges(self, program, api: DeviceAPI) -> list[tuple[int, int]]:
+        symbols = program.symbols
+        return [(symbols["cnt_a"], 2), (symbols["cnt_b"], 2)]
+
+
 ADAPTERS = {
     LinkedListAdapter.name: LinkedListAdapter,
     FibonacciAdapter.name: FibonacciAdapter,
     CounterAdapter.name: CounterAdapter,
     ChaosAdapter.name: ChaosAdapter,
+    RfidFirmwareAdapter.name: RfidFirmwareAdapter,
 }
 
 

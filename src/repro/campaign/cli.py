@@ -61,6 +61,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulated seconds per run (default: %(default)s)")
     parser.add_argument("--modes", default=",".join(defaults.modes),
                         help=f"comma-separated fault modes from {FAULT_MODES}")
+    parser.add_argument("--mode", choices=("sample", "fuzz"),
+                        default=defaults.mode,
+                        help="sample: independent random runs; fuzz: "
+                             "coverage-guided search over fault schedules "
+                             "and stimuli (default: %(default)s)")
+    parser.add_argument("--fuzz-rounds", type=int,
+                        default=defaults.fuzz_rounds,
+                        help="fuzz mode: search rounds the run budget is "
+                             "split into (default: %(default)s)")
+    parser.add_argument("--corpus", metavar="PATH",
+                        help="fuzz mode: seed round zero from PATH if it "
+                             "exists and write the final corpus back to it")
     parser.add_argument("--corrupt-checkpoints", action="store_true",
                         help="enable the FRAM bit-flip corruption axis")
     parser.add_argument("--no-shrink", action="store_true",
@@ -123,6 +135,8 @@ def config_from_args(args: argparse.Namespace) -> CampaignConfig:
     if args.journal and args.resume:
         raise ValueError("--journal and --resume are mutually exclusive "
                          "(--resume keeps appending to its journal)")
+    if args.corpus and args.mode != "fuzz":
+        raise ValueError("--corpus requires --mode fuzz")
     return CampaignConfig(
         app=args.app,
         runs=args.runs,
@@ -141,6 +155,8 @@ def config_from_args(args: argparse.Namespace) -> CampaignConfig:
         max_wall_s=args.max_wall,
         max_retries=args.max_retries,
         retry_backoff=args.retry_backoff,
+        mode=args.mode,
+        fuzz_rounds=args.fuzz_rounds,
     )
 
 
@@ -159,6 +175,16 @@ def _print_summary(report: dict, config: CampaignConfig, elapsed: float,
         f"{summary['diverged']} diverged, {summary['agree']} agreed, "
         f"{summary['inconclusive']} inconclusive{extras}"
     )
+    coverage = report.get("coverage")
+    if coverage is not None:
+        trail = " -> ".join(
+            str(r["blocks"]) for r in coverage["rounds"]
+        ) or "0"
+        print(
+            f"  coverage: {coverage['blocks']} blocks "
+            f"({len(coverage['rounds'])} rounds: {trail}), "
+            f"corpus {coverage['corpus']}"
+        )
     if report.get("partial"):
         partial = report["partial"]
         why = "interrupted" if partial["interrupted"] else "fail-fast"
@@ -218,6 +244,7 @@ def main(argv: list[str] | None = None) -> int:
             resume_from=args.resume,
             fail_fast=args.fail_fast,
             snapshot=args.snapshot,
+            corpus_path=args.corpus,
         )
     except JournalMismatch as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -80,6 +80,18 @@ class CampaignConfig:
     retry_backoff:
         Supervision: base of the exponential backoff (seconds) slept
         before retrying a chunk whose worker died.
+    mode:
+        ``"sample"`` draws every run's fault plan independently at
+        random (the classic campaign); ``"fuzz"`` runs the coverage-
+        guided search of :mod:`repro.campaign.fuzz`, mutating fault
+        schedules (and stimulus bytes, for apps that take input)
+        between rounds.
+    fuzz_rounds:
+        Fuzz mode only: how many search rounds the run budget is split
+        into.  Round one seeds the corpus with uniform-random
+        schedules; every later round mutates the corpus.  ``1`` makes
+        fuzz mode degenerate into pure uniform sampling — the baseline
+        the acceptance test compares against.
     """
 
     app: str = "linked_list"
@@ -106,6 +118,8 @@ class CampaignConfig:
     max_wall_s: float = 0.0
     max_retries: int = 3
     retry_backoff: float = 0.05
+    mode: str = "sample"
+    fuzz_rounds: int = 8
 
     def __post_init__(self) -> None:
         if self.runs < 0:
@@ -150,6 +164,24 @@ class CampaignConfig:
             raise ValueError(
                 f"retry_backoff must be >= 0 (got {self.retry_backoff})"
             )
+        if self.mode not in ("sample", "fuzz"):
+            raise ValueError(
+                f"unknown campaign mode {self.mode!r}; "
+                f"valid: 'sample', 'fuzz'"
+            )
+        if self.fuzz_rounds < 1:
+            raise ValueError(
+                f"fuzz_rounds must be >= 1 (got {self.fuzz_rounds})"
+            )
+        if self.mode == "fuzz" and 0 < self.runs < self.fuzz_rounds:
+            raise ValueError(
+                f"fuzz mode needs runs >= fuzz_rounds "
+                f"(got runs={self.runs}, fuzz_rounds={self.fuzz_rounds})"
+            )
+        if self.mode == "fuzz" and self.capture:
+            # The capture pass re-derives its fault plan from the run
+            # seed, which does not exist for mutated genotypes.
+            raise ValueError("capture is not supported in fuzz mode")
 
     # -- (de)serialization ------------------------------------------------
     def to_dict(self) -> dict:

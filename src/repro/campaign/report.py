@@ -104,6 +104,10 @@ def _divergence_row(record: dict) -> dict:
         row["shrunk"] = record["shrunk"]
     if "capture" in record:
         row["capture"] = record["capture"]
+    if "fuzz" in record:
+        # Fuzz genotype provenance: the stimulus (hex) and mutation
+        # lineage a developer needs to replay the divergence.
+        row["fuzz"] = record["fuzz"]
     return row
 
 

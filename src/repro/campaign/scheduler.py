@@ -130,7 +130,16 @@ class _Chunk:
 
 @dataclass
 class _Supervisor:
-    """Drives chunks to completion through crashes, retries, and splits."""
+    """Drives chunks to completion through crashes, retries, and splits.
+
+    The unit of work is pluggable: ``worker`` is any picklable
+    module-level callable with the :func:`_chunk_worker` signature, and
+    ``jobs`` optionally maps each run index to a JSON-ready payload the
+    worker receives in place of the bare index (the fuzz scheduler's
+    mutated candidates ride through here).  Supervision — crash blame,
+    retries, splits, quarantine, journaling — is payload-agnostic: a
+    chunk is always identified by its indices.
+    """
 
     config: CampaignConfig
     records: dict[int, dict]
@@ -138,6 +147,8 @@ class _Supervisor:
     journal: JournalWriter | None = None
     fail_fast: bool = False
     snapshot: bool = False
+    worker: Callable = _chunk_worker
+    jobs: dict[int, dict] | None = None
 
     stop: bool = field(default=False, init=False)
     degraded: bool = field(default=False, init=False)
@@ -146,6 +157,12 @@ class _Supervisor:
     def __post_init__(self) -> None:
         self._serial = self.config.workers == 1
         self._config_dict = self.config.to_dict()
+
+    def _work_for(self, chunk: "_Chunk"):
+        """What the worker receives for ``chunk``: indices or payloads."""
+        if self.jobs is None:
+            return chunk.indices
+        return [self.jobs[index] for index in chunk.indices]
 
     # -- record plumbing ---------------------------------------------------
     def _collect(self, chunk_records: list[dict]) -> None:
@@ -214,7 +231,7 @@ class _Supervisor:
             chunk = fresh.popleft()
             try:
                 future = self._pool.submit(
-                    _chunk_worker, self._config_dict, chunk.indices,
+                    self.worker, self._config_dict, self._work_for(chunk),
                     self.snapshot,
                 )
             except Exception:
@@ -262,7 +279,7 @@ class _Supervisor:
         suspects.popleft()
         try:
             future = self._pool.submit(
-                _chunk_worker, self._config_dict, chunk.indices,
+                self.worker, self._config_dict, self._work_for(chunk),
                 self.snapshot,
             )
             self._collect(future.result())
@@ -308,7 +325,8 @@ class _Supervisor:
         while fresh and not self.stop:
             chunk = fresh.popleft()
             self._collect(
-                _chunk_worker(self._config_dict, chunk.indices, self.snapshot)
+                self.worker(self._config_dict, self._work_for(chunk),
+                            self.snapshot)
             )
 
 
@@ -409,6 +427,7 @@ def run_campaign(
     resume_from: str | None = None,
     fail_fast: bool = False,
     snapshot: bool = True,
+    corpus_path: str | None = None,
 ) -> dict:
     """Execute a full campaign under supervision and return the report.
 
@@ -435,7 +454,22 @@ def run_campaign(
     that completes normally is guaranteed to hold exactly one record
     per run index (a scheduler hole, should one ever occur, is filled
     with a ``host_fault`` error record rather than silently dropped).
+
+    ``config.mode == "fuzz"`` dispatches to the coverage-guided search
+    (:func:`repro.campaign.fuzz.run_fuzz_campaign`), which reuses this
+    module's supervisor round by round; ``corpus_path`` (fuzz only)
+    seeds and persists the search corpus.
     """
+    if config.mode == "fuzz":
+        from repro.campaign.fuzz import run_fuzz_campaign
+
+        return run_fuzz_campaign(
+            config, progress, journal_path=journal_path,
+            resume_from=resume_from, fail_fast=fail_fast,
+            snapshot=snapshot, corpus_path=corpus_path,
+        )
+    if corpus_path is not None:
+        raise ValueError("corpus_path requires mode='fuzz'")
     if journal_path is not None and resume_from is not None:
         raise ValueError("journal_path and resume_from are mutually exclusive")
     records: dict[int, dict] = {}

@@ -1,0 +1,65 @@
+"""Dynamic basic-block coverage recording for the ISA core.
+
+A :class:`CoverageRecorder` attached to :attr:`Cpu.coverage` collects
+the ordered set of *dynamic block entry* PCs: the reset entry point plus
+the landing PC of every taken control transfer.  That definition is a
+property of the executed trajectory, not of the dispatch mechanism, so
+the same program run produces the same record whether instructions
+retire through translated blocks (``step_block``) or the single-step
+interpreter (``step`` — including the ``REPRO_NO_BLOCKCACHE=1`` kill
+switch).  The fuzzer's coverage signatures lean on exactly that
+invariance for their bit-identity contract.
+
+Recording is first-seen-ordered and deduplicated, so the signature
+distinguishes "reached block A then B" from "reached B then A" while
+staying O(unique blocks) in space no matter how long the run is.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class CoverageRecorder:
+    """Ordered, deduplicated set of executed block-entry PCs."""
+
+    __slots__ = ("_order", "_seen")
+
+    def __init__(self) -> None:
+        self._order: list[int] = []
+        self._seen: set[int] = set()
+
+    def record(self, pc: int) -> None:
+        """Note a block entry (idempotent per PC)."""
+        if pc not in self._seen:
+            self._seen.add(pc)
+            self._order.append(pc)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def blocks(self) -> tuple[int, ...]:
+        """Entry PCs in first-seen order."""
+        return tuple(self._order)
+
+    def signature(self) -> str:
+        """Stable hash of the ordered entry set (16 hex chars)."""
+        digest = hashlib.sha256()
+        for pc in self._order:
+            digest.update(pc.to_bytes(2, "big"))
+        return digest.hexdigest()[:16]
+
+    def clear(self) -> None:
+        """Forget everything (a fresh run on the same CPU)."""
+        self._order.clear()
+        self._seen.clear()
+
+    # -- snapshot integration ------------------------------------------------
+    def export_state(self) -> tuple[int, ...]:
+        """The recorder's full state, as an immutable value."""
+        return tuple(self._order)
+
+    def restore_state(self, state: tuple[int, ...]) -> None:
+        """Rewind to a previously exported state."""
+        self._order = list(state)
+        self._seen = set(state)

@@ -97,7 +97,10 @@ class _Block:
     iff the code is still byte-identical.
     """
 
-    __slots__ = ("start", "lo", "hi", "thunks", "worst_cycles", "valid", "fingerprint")
+    __slots__ = (
+        "start", "lo", "hi", "thunks", "worst_cycles", "valid",
+        "fingerprint", "end_pc",
+    )
 
 
 class Cpu:
@@ -123,6 +126,12 @@ class Cpu:
         self.on_mark: Callable[[int], None] | None = None
         self.instructions_retired = 0
         self.halted = False
+        # Optional dynamic-coverage hook: a CoverageRecorder, or None
+        # (the default — the checks below then cost one attribute read).
+        # When attached, reset() and every *taken* control transfer
+        # record the landing PC, identically under step() and
+        # step_block(), so coverage is dispatch-invariant by design.
+        self.coverage = None
         # Decoded-instruction cache: PC -> (instruction, size, cycles).
         # FRAM-resident code is decoded once per image instead of once
         # per retirement.  Invalidation rides the map's write observers
@@ -365,6 +374,8 @@ class Cpu:
         self.pc = entry
         self.sp = SRAM_BASE + SRAM_SIZE
         self.halted = False
+        if self.coverage is not None:
+            self.coverage.record(self._registers[PC])
 
     # -- operand resolution --------------------------------------------------
     def _operand_address(self, operand) -> int:
@@ -437,6 +448,8 @@ class Cpu:
         next_pc = (pc + size) & WORD_MASK
         self._execute(instruction, next_pc)
         self.instructions_retired += 1
+        if self.coverage is not None and self._registers[PC] != next_pc:
+            self.coverage.record(self._registers[PC])
         return instruction
 
     def _decode_at(self, pc: int) -> tuple[Instruction, int, int]:
@@ -511,6 +524,16 @@ class Cpu:
             thunk()
             self.instructions_retired += 1
             retired += 1
+        if (
+            self.coverage is not None
+            and retired == len(thunks)
+            and self._registers[PC] != block.end_pc
+        ):
+            # An early (invalidation) break leaves PC at the last
+            # executed thunk's own fall-through — no transfer taken, so
+            # nothing to record; only a completed block whose final
+            # transfer landed elsewhere opens a new dynamic block.
+            self.coverage.record(self._registers[PC])
         return retired
 
     # -- block translation ---------------------------------------------------
@@ -559,6 +582,12 @@ class Cpu:
         block.worst_cycles = worst
         block.valid = True
         block.fingerprint = self._code_fingerprint(start, at)
+        # Fall-through PC after the final thunk.  Only the last
+        # instruction of a block can transfer control (everything
+        # earlier is non-terminal by construction), so "PC != end_pc
+        # after a full block" is exactly "the last transfer was taken" —
+        # the same predicate step() evaluates per instruction.
+        block.end_pc = at & WORD_MASK
         return block
 
     @staticmethod

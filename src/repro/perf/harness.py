@@ -1,6 +1,6 @@
 """Benchmark harness for the simulation hot paths.
 
-Four benchmarks cover the layers that dominate campaign wall time, per
+Five benchmarks cover the layers that dominate campaign wall time, per
 the profile that motivated the PR-2 hot-path work:
 
 - ``isa_throughput`` — the per-instruction loop: fetch/decode/execute
@@ -14,7 +14,10 @@ the profile that motivated the PR-2 hot-path work:
 - ``snapshot_fork`` — a fixed-environment campaign where every run in a
   fault mode shares harvesting conditions, so the snapshot/fork engine
   gets real prefix groups to share (the best case the ``campaign``
-  benchmark's randomized environments never produce).
+  benchmark's randomized environments never produce);
+- ``fuzz_search`` — a coverage-guided fuzz campaign on the RFID
+  dispatch firmware: coverage recording, corpus bookkeeping, mutators,
+  and stimulus-grouped forking, end to end.
 
 Every benchmark reports a *higher-is-better* throughput value, so the
 regression check is a single ratio per metric.  Wall-clock timing
@@ -236,6 +239,53 @@ def bench_snapshot_fork(runs: int = 24) -> BenchResult:
     )
 
 
+def bench_fuzz_search(runs: int = 18) -> BenchResult:
+    """Coverage-guided fuzz campaign throughput on the RFID firmware.
+
+    Exercises the full search stack per run — coverage recording in the
+    ISA core, corpus bookkeeping, mutators, stimulus-grouped snapshot
+    forking — so a regression in any of those layers shows up as a
+    runs/s cliff here before it shows up in a fleet.  The round count
+    scales with the budget (three runs per round, capped at six rounds)
+    to keep the corpus-feedback loop engaged at every scale.  A small
+    untimed campaign pays the one-time costs first (see
+    :func:`bench_campaign`).
+    """
+    rounds = max(1, min(6, runs // 3))
+    config = CampaignConfig(
+        app="rfid_firmware",
+        runs=runs,
+        seed=1,
+        iterations=10,
+        duration=0.8,
+        workers=1,
+        max_ops=120,
+        shrink=False,
+        capture=False,
+        mode="fuzz",
+        fuzz_rounds=rounds,
+    )
+    run_campaign(
+        CampaignConfig(**{**config.to_dict(), "runs": 2, "fuzz_rounds": 1})
+    )
+    t0 = time.perf_counter()
+    report = run_campaign(config)
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name="fuzz_search",
+        value=runs / wall if wall > 0 else float("inf"),
+        unit="runs/s",
+        wall_s=wall,
+        detail={
+            "runs": runs,
+            "rounds": rounds,
+            "blocks_covered": report["coverage"]["blocks"],
+            "corpus": report["coverage"]["corpus"],
+            "diverged": report["summary"]["diverged"],
+        },
+    )
+
+
 #: Benchmark registry: name -> (constructor taking a workload scale).
 #: ``python -m repro.perf --profile NAME`` resolves names here.
 BENCHMARKS = {
@@ -248,6 +298,9 @@ BENCHMARKS = {
     "campaign": lambda scale=1.0: bench_campaign(max(1, int(6 * scale))),
     "snapshot_fork": lambda scale=1.0: bench_snapshot_fork(
         max(2, int(24 * scale))
+    ),
+    "fuzz_search": lambda scale=1.0: bench_fuzz_search(
+        max(3, int(18 * scale))
     ),
 }
 

@@ -167,6 +167,7 @@ class DeviceSnapshot:
         "cpu_registers",
         "cpu_retired",
         "cpu_halted",
+        "cpu_coverage",
         "gpio_pins",
         "uart_state",
         "debug_uart_state",
@@ -242,6 +243,9 @@ def capture(
     snap.cpu_registers = tuple(cpu.registers)
     snap.cpu_retired = cpu.instructions_retired
     snap.cpu_halted = cpu.halted
+    snap.cpu_coverage = (
+        None if cpu.coverage is None else cpu.coverage.export_state()
+    )
 
     snap.gpio_pins = {
         name: (pin.state, pin.toggles)
@@ -337,6 +341,15 @@ def restore(
     cpu.registers[:] = snap.cpu_registers
     cpu.instructions_retired = snap.cpu_retired
     cpu.halted = snap.cpu_halted
+    if cpu.coverage is not None and snap.cpu_coverage is not None:
+        cpu.coverage.restore_state(snap.cpu_coverage)
+    # Block-cache counters are *per-leg* instrumentation, not simulated
+    # state: a forked leg resuming from a shared prefix must report its
+    # own translation/dispatch/deopt activity, not inherit the counts
+    # the prefix accumulated before the capture.
+    cpu.blocks_translated = 0
+    cpu.blocks_executed = 0
+    cpu.blocks_deopts = 0
 
     gpio = device.gpio
     for name, (state, toggles) in snap.gpio_pins.items():

@@ -230,3 +230,79 @@ def test_forked_campaign_report_identical_to_legacy():
     forked = render_json(run_campaign(config, snapshot=True))
     legacy = render_json(run_campaign(config, snapshot=False))
     assert forked == legacy
+
+
+# -- block-translation instrumentation and coverage across restore ----------
+
+def _run_branchy_with_coverage(seed: int):
+    """A powered ISA leg with a recorder attached; returns (sim, target)."""
+    from repro.mcu.assembler import assemble
+    from repro.mcu.coverage import CoverageRecorder
+    from repro.runtime.isa_executor import IsaIntermittentExecutor
+
+    from tests.test_blockcache import _random_branchy
+
+    sim = Simulator(seed=seed)
+    target = make_fast_target(sim, distance_m=1.6, fading_sigma=0.0)
+    target.cpu.coverage = CoverageRecorder()
+    source = _random_branchy(random.Random(seed), iterations=8)
+    executor = IsaIntermittentExecutor(sim, target, assemble(source))
+    executor.run(duration=1.0)
+    return sim, target
+
+
+def test_restore_resets_block_translation_counters():
+    """``blocks_translated/executed/deopts`` are per-leg instrumentation,
+    not simulated state: a restored device must start counting from
+    zero, exactly like a device built fresh for the leg."""
+    sim, target = _run_branchy_with_coverage(seed=31)
+    assert target.cpu.blocks_executed > 0
+    assert target.cpu.blocks_translated > 0
+
+    tracker = DirtyTracker(target.memory)
+    snap = capture(target, tracker)
+    restore(target, snap, tracker)
+
+    assert target.cpu.blocks_translated == 0
+    assert target.cpu.blocks_executed == 0
+    assert target.cpu.blocks_deopts == 0
+
+
+def test_restore_rewinds_coverage_to_the_capture_point():
+    """The recorder's ordered entry set is part of the snapshot: records
+    made after the capture vanish on restore, and the signature comes
+    back bit-identical."""
+    sim, target = _run_branchy_with_coverage(seed=47)
+    coverage = target.cpu.coverage
+    assert len(coverage) >= 2  # entry plus at least one taken transfer
+
+    tracker = DirtyTracker(target.memory)
+    snap = capture(target, tracker)
+    at_capture = coverage.export_state()
+    signature_at_capture = coverage.signature()
+
+    # Later-leg records that must not survive the rewind.
+    coverage.record(0xBEE0)
+    coverage.record(0xBEE2)
+    assert coverage.blocks() != at_capture
+
+    restore(target, snap, tracker)
+    assert coverage.blocks() == at_capture
+    assert coverage.signature() == signature_at_capture
+
+
+def test_restore_leaves_coverage_alone_without_a_captured_recorder():
+    """A snapshot taken before any recorder existed carries no coverage
+    state; restoring it must not clobber a recorder attached later."""
+    from repro.mcu.coverage import CoverageRecorder
+
+    sim = Simulator(seed=5)
+    target = make_fast_target(sim, distance_m=1.6, fading_sigma=0.0)
+    tracker = DirtyTracker(target.memory)
+    snap = capture(target, tracker)  # no recorder attached yet
+
+    target.cpu.coverage = CoverageRecorder()
+    target.cpu.coverage.record(0xA000)
+    restore(target, snap, tracker)
+
+    assert target.cpu.coverage.blocks() == (0xA000,)
