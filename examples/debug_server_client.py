@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The console demo, replayed over the JSON-RPC debug server.
+
+Mirrors ``examples/interactive_console.py`` — status, energy tracing,
+charge, intermittent run, FRAM inspection, an energy breakpoint with a
+scripted inspect-and-recharge action, and a final discharge — but every
+step travels over the wire: the script spawns ``python -m
+repro.debug.server`` as a stdio subprocess and drives it with
+:class:`repro.debug.client.DebugClient`.
+
+Run:  python examples/debug_server_client.py
+      python examples/debug_server_client.py --tcp HOST:PORT
+          (against an already-running ``edb-server --port N``)
+"""
+
+import sys
+
+from repro.debug.client import DebugClient
+from repro.mcu.memory import FRAM_BASE
+
+
+def main() -> None:
+    if len(sys.argv) > 2 and sys.argv[1] == "--tcp":
+        host, _, port = sys.argv[2].rpartition(":")
+        client = DebugClient.connect_tcp(host or "127.0.0.1", int(port))
+    else:
+        client = DebugClient.spawn_stdio()
+
+    with client:
+        info = client.ping()
+        print(f"server answered: repro {info['version']}")
+
+        session = client.create_session(
+            app="fibonacci", seed=42, iterations=198, distance_m=1.6
+        )
+        print(f"session {session.id}: {session.info['app']} on "
+              f"{session.info['power']} power, Vcap={session.info['vcap']:.3f} V")
+
+        session.trace("energy")
+        session.trace("watchpoints")
+        print(f"charged to {session.charge(2.4):.3f} V")
+
+        # Energy breakpoint at 2.0 V with a scripted per-stop action
+        # list: inspect the list header, then recharge and resume —
+        # what a console user would type into the live break session.
+        # Breakpoints are serviced synchronously inside `run`, so the
+        # actions ride along and `break.log` returns the transcripts.
+        session.on_break([
+            {"op": "read_u16", "address": FRAM_BASE},
+            {"op": "charge", "volts": 2.3},
+        ])
+        handle = session.break_energy(2.0)
+
+        result = session.run(2.0)
+        print(f"run finished: {result['status']}, boots={result['boots']}, "
+              f"reboots={result['reboots']}, Vcap={result['vcap']:.3f} V")
+
+        stops = session.break_log()["stops"]
+        print(f"energy breakpoint (handle {handle}) stopped the target "
+              f"{len(stops)} time(s); first stops:")
+        for stop in stops[:3]:
+            header = stop["results"][0]["value"]
+            print(f"  t={stop['time'] * 1e3:7.2f} ms  Vcap={stop['vcap']:.3f} V  "
+                  f"header=0x{header:04X}")
+        session.remove_breakpoint(handle)
+
+        # The Fibonacci list header lives at the first FRAM static.
+        data = session.read_mem(FRAM_BASE, 6)
+        print(f"0x{FRAM_BASE:04X}: {data.hex(' ')}")
+
+        # Trace polling is cursor-based: page through without loss.
+        cursor, samples = 0, 0
+        while True:
+            page = session.poll_trace(cursor=cursor, limit=512, stream="energy")
+            samples += len(page["events"])
+            cursor = page["next_cursor"]
+            if page["remaining"] == 0:
+                break
+        print(f"polled {samples} energy samples over RPC")
+
+        print(f"discharged to {session.discharge(1.9):.3f} V")
+        print(f"final state: {session.status()['state']}")
+        session.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -20,5 +20,8 @@ python -m pytest -x -q
 echo "== fuzz smoke: fixed-seed coverage-guided canary =="
 python -m pytest -q -m fuzz_smoke
 
+echo "== debug-server smoke: spawn, session, run, trace, shutdown =="
+python -m pytest -q -m debug_smoke
+
 echo "== tier-1-adjacent: perf gate =="
 python -m repro.perf --check --quick --out /tmp/BENCH_perf_check.json

@@ -283,10 +283,15 @@ class EDBBoard:
 
     # -- energy breakpoints (serviced off the sampler) ----------------------------
     def arm_energy_sampling(self) -> None:
-        """Ensure the passive energy sampler runs (breakpoints need it)."""
+        """Ensure the passive energy sampler runs (breakpoints need it).
+
+        Idempotent: arming for every registered energy breakpoint must
+        not stack duplicate listeners on a long-lived monitor.
+        """
         assert self.monitor is not None
         self.monitor.enable("energy")
-        self.monitor.listeners.append(self._energy_sample_listener)
+        if self._energy_sample_listener not in self.monitor.listeners:
+            self.monitor.listeners.append(self._energy_sample_listener)
 
     def _energy_sample_listener(self, event) -> None:
         if event.stream != "energy" or self._pending_energy_bp is not None:

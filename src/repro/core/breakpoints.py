@@ -114,10 +114,21 @@ class BreakpointManager:
                 count += 1
         return count
 
-    def remove(self, bp: Breakpoint) -> None:
-        """Deregister a breakpoint (no-op if absent)."""
-        if bp in self.breakpoints:
-            self.breakpoints.remove(bp)
+    def remove(self, bp: Breakpoint) -> bool:
+        """Deregister *this* breakpoint instance (no-op if absent).
+
+        Matches by identity, not dataclass equality: two registrations
+        with the same kind/id/threshold compare equal, and a value-based
+        ``list.remove`` would silently delete whichever was registered
+        first — not the instance the caller holds.
+
+        Returns True if the instance was registered and removed.
+        """
+        for index, existing in enumerate(self.breakpoints):
+            if existing is bp:
+                del self.breakpoints[index]
+                return True
+        return False
 
     # -- trigger evaluation ----------------------------------------------------
     def check_code_point(self, breakpoint_id: int, vcap: float) -> Breakpoint | None:

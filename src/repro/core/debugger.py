@@ -186,10 +186,15 @@ class EDB:
             [round(t, 9), round(v, 6)]
             for t, v in list(zip(times, volts))[-tail:]
         ]
-        watchpoints: dict[str, int] = {}
-        for event in self.monitor.stream_events("watchpoints"):
-            key = str(event.value)
-            watchpoints[key] = watchpoints.get(key, 0) + 1
+        # Hit counts come from the monitor's aggregate stats, which
+        # count every decoded marker pulse; the "watchpoints" *stream*
+        # only has events while that trace was enabled, so deriving
+        # counts from it undercounts (or reads zero) whenever tracing
+        # was off or enabled late.
+        watchpoints = {
+            str(wp_id): stats.hits
+            for wp_id, stats in sorted(self.monitor.watchpoints.items())
+        }
         return {
             "energy_tail": energy_tail,
             "watchpoint_hits": watchpoints,

@@ -201,6 +201,13 @@ class PassiveMonitor:
         return costs
 
     def clear(self) -> None:
-        """Drop accumulated events and watchpoint statistics."""
+        """Drop accumulated events, watchpoint statistics, and masks.
+
+        ``disabled_watchpoints`` is session state too (console ``watch
+        dis id``): a monitor reused across debug sessions must not
+        silently keep suppressing watchpoints a previous session
+        disabled.  Listeners are wiring, not data, so they survive.
+        """
         self.events.clear()
         self.watchpoints.clear()
+        self.disabled_watchpoints.clear()

@@ -10,6 +10,7 @@ histogram/CDF renderings.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.monitor import PassiveMonitor
@@ -48,10 +49,17 @@ class RegionStats:
 
 
 def _percentile(ordered: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list.
+
+    The nearest-rank index is ``ceil(fraction * n) - 1`` (0-based).
+    Flooring instead (``int(fraction * n)``) biases every percentile
+    one rank high — p90 of 10 samples would return index 9, which is
+    the maximum, i.e. p100.
+    """
     if not ordered:
         raise ValueError("no samples")
-    index = min(len(ordered) - 1, int(fraction * len(ordered)))
-    return ordered[index]
+    index = math.ceil(fraction * len(ordered)) - 1
+    return ordered[max(0, min(len(ordered) - 1, index))]
 
 
 class EnergyProfiler:

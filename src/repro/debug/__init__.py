@@ -1,0 +1,35 @@
+"""Programmatic debug-server interface over the simulated EDB.
+
+The paper's Table 1 console is one *user* of the debugger; this package
+makes the same capability available to external tools and agents as a
+long-lived JSON-RPC 2.0 server (newline-delimited JSON over stdio or
+TCP) with explicit session management:
+
+- :mod:`repro.debug.protocol` — JSON-RPC 2.0 framing and validation;
+- :mod:`repro.debug.errors` — the error-code taxonomy;
+- :mod:`repro.debug.service` — transport-independent sessions and
+  method dispatch (`session.create`, `break.add_code`, `trace.poll`,
+  `run`, ...);
+- :mod:`repro.debug.server` — the ``python -m repro.debug.server``
+  entry point serving stdio or multi-client TCP;
+- :mod:`repro.debug.client` — a thin typed client
+  (:class:`~repro.debug.client.DebugClient`).
+
+Every target-side access (memory reads/writes, register dumps) routes
+through a console-initiated :class:`~repro.core.session.InteractiveSession`,
+so protocol cycles are costed exactly as the interactive console costs
+them — the RPC surface changes who drives the debugger, not what the
+target observes.
+"""
+
+from repro.debug.client import DebugClient, DebugRpcError, RemoteSession
+from repro.debug.errors import RpcError
+from repro.debug.service import DebugService
+
+__all__ = [
+    "DebugClient",
+    "DebugRpcError",
+    "DebugService",
+    "RemoteSession",
+    "RpcError",
+]

@@ -1,0 +1,276 @@
+"""A thin typed client for the EDB debug server.
+
+:class:`DebugClient` speaks newline-delimited JSON-RPC 2.0 over either
+a TCP connection (:meth:`DebugClient.connect_tcp`) or a spawned stdio
+server subprocess (:meth:`DebugClient.spawn_stdio`).  Remote failures
+surface as :class:`DebugRpcError` carrying the server's error code.
+
+:class:`RemoteSession` binds a session id so call sites read like the
+console::
+
+    with DebugClient.spawn_stdio() as client:
+        session = client.create_session(app="fibonacci", seed=42)
+        session.trace("energy")
+        session.charge(2.4)
+        print(session.run(0.5)["status"])
+        events = session.poll_trace()["events"]
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import subprocess
+import sys
+from typing import Any, Callable
+
+from repro.debug import protocol
+
+
+class DebugRpcError(Exception):
+    """The server answered with a JSON-RPC error object."""
+
+    def __init__(self, code: int, message: str, data: Any = None) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.data = data
+
+
+class DebugClient:
+    """One connection to a debug server (context manager)."""
+
+    def __init__(
+        self,
+        send_line: Callable[[str], None],
+        recv_line: Callable[[], str],
+        close: Callable[[], None],
+    ) -> None:
+        self._send_line = send_line
+        self._recv_line = recv_line
+        self._close = close
+        self._ids = itertools.count(1)
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def connect_tcp(
+        cls, host: str, port: int, timeout: float = 30.0
+    ) -> "DebugClient":
+        """Connect to a running ``--port`` server."""
+        sock = socket.create_connection((host, port), timeout=timeout)
+        reader = sock.makefile("r", encoding="utf-8", newline="\n")
+
+        def send(line: str) -> None:
+            sock.sendall(line.encode("utf-8"))
+
+        def close() -> None:
+            reader.close()
+            sock.close()
+
+        return cls(send, reader.readline, close)
+
+    @classmethod
+    def spawn_stdio(
+        cls,
+        python: str | None = None,
+        extra_args: list[str] | None = None,
+        env: dict[str, str] | None = None,
+    ) -> "DebugClient":
+        """Spawn ``python -m repro.debug.server`` and talk over its pipes."""
+        command = [
+            python or sys.executable,
+            "-m",
+            "repro.debug.server",
+            *(extra_args or []),
+        ]
+        process = subprocess.Popen(
+            command,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            bufsize=1,
+            env=env,
+        )
+
+        def send(line: str) -> None:
+            assert process.stdin is not None
+            process.stdin.write(line)
+            process.stdin.flush()
+
+        def recv() -> str:
+            assert process.stdout is not None
+            return process.stdout.readline()
+
+        def close() -> None:
+            if process.stdin is not None:
+                process.stdin.close()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+
+        client = cls(send, recv, close)
+        client.process = process
+        return client
+
+    # -- transport ----------------------------------------------------------
+    def call(self, method: str, **params: Any) -> Any:
+        """One JSON-RPC call; returns the result or raises DebugRpcError."""
+        request_id = next(self._ids)
+        request = {
+            "jsonrpc": protocol.JSONRPC_VERSION,
+            "id": request_id,
+            "method": method,
+        }
+        if params:
+            request["params"] = params
+        self._send_line(json.dumps(request) + "\n")
+        line = self._recv_line()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if response.get("id") != request_id:
+            raise ConnectionError(
+                f"out-of-order response: sent id {request_id}, "
+                f"got {response.get('id')!r}"
+            )
+        if "error" in response:
+            error = response["error"]
+            raise DebugRpcError(
+                error.get("code", 0), error.get("message", ""), error.get("data")
+            )
+        return response["result"]
+
+    def close(self) -> None:
+        self._close()
+
+    def __enter__(self) -> "DebugClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- typed surface ------------------------------------------------------
+    def ping(self) -> dict:
+        return self.call("debug.ping")
+
+    def create_session(self, **params: Any) -> "RemoteSession":
+        info = self.call("session.create", **params)
+        return RemoteSession(self, info["session"], info)
+
+    def list_sessions(self) -> list[dict]:
+        return self.call("session.list")["sessions"]
+
+
+class RemoteSession:
+    """Client-side handle to one server session."""
+
+    def __init__(self, client: DebugClient, session_id: str, info: dict) -> None:
+        self.client = client
+        self.id = session_id
+        self.info = info
+
+    def call(self, method: str, **params: Any) -> Any:
+        return self.client.call(method, session=self.id, **params)
+
+    def close(self) -> dict:
+        return self.call("session.close")
+
+    def status(self) -> dict:
+        return self.call("session.status")
+
+    # breakpoints -----------------------------------------------------------
+    def break_code(self, breakpoint_id: int, one_shot: bool = False) -> int:
+        return self.call("break.add_code", id=breakpoint_id, one_shot=one_shot)[
+            "handle"
+        ]
+
+    def break_energy(self, threshold_v: float, one_shot: bool = False) -> int:
+        return self.call(
+            "break.add_energy", threshold_v=threshold_v, one_shot=one_shot
+        )["handle"]
+
+    def break_combined(
+        self, breakpoint_id: int, threshold_v: float, one_shot: bool = False
+    ) -> int:
+        return self.call(
+            "break.add_combined",
+            id=breakpoint_id,
+            threshold_v=threshold_v,
+            one_shot=one_shot,
+        )["handle"]
+
+    def set_breakpoint_enabled(self, handle: int, enabled: bool) -> dict:
+        return self.call("break.set_enabled", handle=handle, enabled=enabled)
+
+    def remove_breakpoint(self, handle: int) -> dict:
+        return self.call("break.remove", handle=handle)
+
+    def breakpoints(self) -> list[dict]:
+        return self.call("break.list")["breakpoints"]
+
+    def on_break(self, actions: list[dict]) -> dict:
+        return self.call("break.on_hit", actions=actions)
+
+    def break_log(self, cursor: int = 0) -> dict:
+        return self.call("break.log", cursor=cursor)
+
+    # watches / tracing -----------------------------------------------------
+    def watch_pc(self, pc: int) -> dict:
+        return self.call("watch.pc", pc=pc)
+
+    def unwatch_pc(self, pc: int) -> dict:
+        return self.call("unwatch.pc", pc=pc)
+
+    def set_watchpoint_enabled(self, wp_id: int, enabled: bool) -> dict:
+        return self.call("watch.set_enabled", id=wp_id, enabled=enabled)
+
+    def trace(self, stream: str) -> dict:
+        return self.call("trace.enable", stream=stream)
+
+    def untrace(self, stream: str) -> dict:
+        return self.call("trace.disable", stream=stream)
+
+    def poll_trace(
+        self, cursor: int = 0, limit: int = 1024, stream: str | None = None
+    ) -> dict:
+        params: dict[str, Any] = {"cursor": cursor, "limit": limit}
+        if stream is not None:
+            params["stream"] = stream
+        return self.call("trace.poll", **params)
+
+    # energy / memory / registers -------------------------------------------
+    def charge(self, volts: float) -> float:
+        return self.call("energy.charge", volts=volts)["vcap"]
+
+    def discharge(self, volts: float) -> float:
+        return self.call("energy.discharge", volts=volts)["vcap"]
+
+    def vcap(self) -> dict:
+        return self.call("energy.vcap")
+
+    def read_mem(self, address: int, count: int = 2) -> bytes:
+        return bytes.fromhex(
+            self.call("mem.read", address=address, count=count)["hex"]
+        )
+
+    def write_u16(self, address: int, value: int) -> dict:
+        return self.call("mem.write", address=address, value=value)
+
+    def write_mem(self, address: int, data: bytes) -> dict:
+        return self.call("mem.write", address=address, data=data.hex())
+
+    def registers(self) -> list[int]:
+        return self.call("regs.read")["registers"]
+
+    # execution -------------------------------------------------------------
+    def run(self, duration: float, **params: Any) -> dict:
+        return self.call("run", duration=duration, **params)
+
+    def emulate(self, cycles: int, **params: Any) -> dict:
+        return self.call("emulate", cycles=cycles, **params)
+
+    def divergence_context(self, tail: int = 64) -> dict:
+        return self.call("debug.divergence_context", tail=tail)

@@ -1,0 +1,85 @@
+"""JSON-RPC error taxonomy for the debug server.
+
+The standard JSON-RPC 2.0 codes cover transport/envelope problems; the
+``-320xx`` range carries the debugger's own failure modes.  Every error
+a method raises is an :class:`RpcError` subclass, so the dispatcher can
+turn *any* failure into a well-formed error object instead of killing
+the server (or the connection).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+# Standard JSON-RPC 2.0 codes.
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+INTERNAL_ERROR = -32603
+
+# Implementation-defined codes (server errors: -32000..-32099).
+TARGET_ERROR = -32000  # the simulated target/debugger raised
+SESSION_NOT_FOUND = -32001
+UNKNOWN_HANDLE = -32002
+SESSION_LIMIT = -32003
+
+
+class RpcError(Exception):
+    """An error with a JSON-RPC code, ready to serialise."""
+
+    code = INTERNAL_ERROR
+
+    def __init__(self, message: str, data: Any = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.data = data
+
+    def to_object(self) -> dict:
+        """The JSON-RPC ``error`` member for a response."""
+        obj: dict[str, Any] = {"code": self.code, "message": self.message}
+        if self.data is not None:
+            obj["data"] = self.data
+        return obj
+
+
+class ParseError(RpcError):
+    code = PARSE_ERROR
+
+
+class InvalidRequest(RpcError):
+    code = INVALID_REQUEST
+
+
+class MethodNotFound(RpcError):
+    code = METHOD_NOT_FOUND
+
+
+class InvalidParams(RpcError):
+    code = INVALID_PARAMS
+
+
+class InternalError(RpcError):
+    code = INTERNAL_ERROR
+
+
+class TargetError(RpcError):
+    """The simulated debugger/target failed executing the method."""
+
+    code = TARGET_ERROR
+
+    @classmethod
+    def wrap(cls, exc: BaseException) -> "TargetError":
+        return cls(f"{type(exc).__name__}: {exc}")
+
+
+class SessionNotFound(RpcError):
+    code = SESSION_NOT_FOUND
+
+
+class UnknownHandle(RpcError):
+    code = UNKNOWN_HANDLE
+
+
+class SessionLimit(RpcError):
+    code = SESSION_LIMIT

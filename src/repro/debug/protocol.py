@@ -1,0 +1,93 @@
+"""JSON-RPC 2.0 framing: newline-delimited JSON, one message per line.
+
+Both transports (stdio and TCP) speak the same wire format: each
+request and each response is a single ``\\n``-terminated JSON object.
+This module owns envelope parsing/validation and response construction;
+it knows nothing about sessions or the simulator.
+
+Batch requests (a JSON array) are accepted per the spec and answered
+with an array of responses.  Notifications (requests without an ``id``)
+are executed but produce no response, again per the spec.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.debug.errors import InvalidRequest, ParseError, RpcError
+
+JSONRPC_VERSION = "2.0"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One validated JSON-RPC request."""
+
+    method: str
+    params: dict[str, Any] = field(default_factory=dict)
+    id: Any = None
+    is_notification: bool = False
+
+
+def parse_request(obj: Any) -> Request:
+    """Validate one request object (already JSON-decoded).
+
+    Raises :class:`InvalidRequest` on envelope violations and
+    :class:`~repro.debug.errors.InvalidParams`-adjacent problems are
+    left to the method layer — here only the JSON-RPC envelope is
+    checked.
+    """
+    if not isinstance(obj, dict):
+        raise InvalidRequest(f"request must be an object, got {type(obj).__name__}")
+    if obj.get("jsonrpc") != JSONRPC_VERSION:
+        raise InvalidRequest('missing/invalid "jsonrpc" (must be "2.0")')
+    method = obj.get("method")
+    if not isinstance(method, str) or not method:
+        raise InvalidRequest('"method" must be a non-empty string')
+    params = obj.get("params", {})
+    if params is None:
+        params = {}
+    if isinstance(params, list):
+        # Positional params are legal JSON-RPC but every method here is
+        # keyword-based; reject early with a clear message.
+        raise InvalidRequest("positional params unsupported; pass an object")
+    if not isinstance(params, dict):
+        raise InvalidRequest('"params" must be an object')
+    request_id = obj.get("id")
+    if request_id is not None and not isinstance(request_id, (str, int, float)):
+        raise InvalidRequest('"id" must be a string or number')
+    return Request(
+        method=method,
+        params=params,
+        id=request_id,
+        is_notification="id" not in obj,
+    )
+
+
+def decode_line(line: str) -> Any:
+    """Decode one wire line to a JSON value (request or batch)."""
+    try:
+        return json.loads(line)
+    except ValueError as exc:
+        raise ParseError(f"invalid JSON: {exc}") from None
+
+
+def result_response(request_id: Any, result: Any) -> dict:
+    """A successful JSON-RPC response object."""
+    return {"jsonrpc": JSONRPC_VERSION, "id": request_id, "result": result}
+
+
+def error_response(request_id: Any, error: RpcError) -> dict:
+    """A JSON-RPC error response object (``id`` may be ``None``)."""
+    return {"jsonrpc": JSONRPC_VERSION, "id": request_id, "error": error.to_object()}
+
+
+def encode(message: Any) -> str:
+    """Serialise one response (or batch) to a single wire line.
+
+    ``sort_keys`` keeps output deterministic — responses diff cleanly
+    in tests and transcripts.
+    """
+    return json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"

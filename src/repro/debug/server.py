@@ -1,0 +1,196 @@
+"""The debug-server entry point: ``python -m repro.debug.server``.
+
+Two transports, one wire format (newline-delimited JSON-RPC 2.0):
+
+- **stdio** (default): requests on stdin, responses on stdout — the
+  mode an MCP-style tool host or a supervising agent uses, one server
+  per conversation;
+- **TCP** (``--port N``): a threaded server accepting any number of
+  concurrent clients on ``--host`` (default 127.0.0.1).  All clients
+  share one :class:`~repro.debug.service.DebugService`, so a session
+  created on one connection can be driven from another — and two
+  sessions never share simulator state regardless of which connection
+  created them.
+
+Malformed input never kills the server: parse errors, bad envelopes,
+unknown methods, and method failures all come back as JSON-RPC error
+objects on the same line-oriented channel.
+
+``--port 0`` binds an ephemeral port; the server always announces
+``EDB debug server listening on HOST:PORT`` on stderr (and flushes), so
+spawning tooling can scrape the bound address.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socketserver
+import sys
+from typing import Any, TextIO
+
+from repro.debug import protocol
+from repro.debug.errors import InternalError, RpcError
+from repro.debug.service import DebugService
+
+
+def handle_decoded(service: DebugService, decoded: Any) -> Any | None:
+    """Execute one decoded wire message (request or batch).
+
+    Returns the response object, a batch of responses, or ``None`` when
+    nothing must be sent (a lone notification, or an empty batch of
+    notifications — note an *empty array* is an invalid request per the
+    JSON-RPC spec and gets an error).
+    """
+    if isinstance(decoded, list):
+        if not decoded:
+            return protocol.error_response(
+                None, protocol.InvalidRequest("empty batch")
+            )
+        responses = [
+            r for r in (_handle_one(service, item) for item in decoded) if r
+        ]
+        return responses or None
+    return _handle_one(service, decoded)
+
+
+def _handle_one(service: DebugService, obj: Any) -> dict | None:
+    try:
+        request = protocol.parse_request(obj)
+    except RpcError as exc:
+        request_id = obj.get("id") if isinstance(obj, dict) else None
+        return protocol.error_response(request_id, exc)
+    try:
+        result = service.dispatch(request.method, dict(request.params))
+    except RpcError as exc:
+        return (
+            None
+            if request.is_notification
+            else protocol.error_response(request.id, exc)
+        )
+    except Exception as exc:  # noqa: BLE001 - absolute backstop
+        return (
+            None
+            if request.is_notification
+            else protocol.error_response(
+                request.id, InternalError(f"{type(exc).__name__}: {exc}")
+            )
+        )
+    if request.is_notification:
+        return None
+    return protocol.result_response(request.id, result)
+
+
+def handle_line(service: DebugService, line: str) -> str | None:
+    """One wire line in, zero or one wire lines out."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        decoded = protocol.decode_line(line)
+    except RpcError as exc:
+        return protocol.encode(protocol.error_response(None, exc))
+    response = handle_decoded(service, decoded)
+    return protocol.encode(response) if response is not None else None
+
+
+def serve_stdio(
+    service: DebugService,
+    in_stream: TextIO | None = None,
+    out_stream: TextIO | None = None,
+) -> None:
+    """Serve newline-delimited JSON-RPC until EOF on the input stream."""
+    in_stream = in_stream if in_stream is not None else sys.stdin
+    out_stream = out_stream if out_stream is not None else sys.stdout
+    for line in in_stream:
+        response = handle_line(service, line)
+        if response is not None:
+            out_stream.write(response)
+            out_stream.flush()
+    service.close_all()
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        service: DebugService = self.server.service  # type: ignore[attr-defined]
+        while True:
+            raw = self.rfile.readline()
+            if not raw:
+                return  # client hung up
+            try:
+                line = raw.decode("utf-8")
+            except UnicodeDecodeError:
+                line = raw.decode("utf-8", errors="replace")
+            response = handle_line(service, line)
+            if response is not None:
+                try:
+                    self.wfile.write(response.encode("utf-8"))
+                    self.wfile.flush()
+                except (BrokenPipeError, ConnectionResetError):
+                    return
+
+
+class DebugTCPServer(socketserver.ThreadingTCPServer):
+    """Threaded line-oriented JSON-RPC server over one shared service."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: DebugService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+def serve_tcp(service: DebugService, host: str, port: int) -> None:
+    """Serve TCP clients forever (Ctrl-C to stop)."""
+    with DebugTCPServer((host, port), service) as server:
+        bound_host, bound_port = server.server_address[:2]
+        print(
+            f"EDB debug server listening on {bound_host}:{bound_port}",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            service.close_all()
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.debug.server",
+        description=(
+            "JSON-RPC 2.0 debug server over the simulated EDB "
+            "(newline-delimited JSON; stdio by default, TCP with --port)"
+        ),
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve TCP on this port (0 = ephemeral) instead of stdio",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address (default loopback)"
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        help="cap on concurrently open sessions",
+    )
+    args = parser.parse_args(argv)
+    service = (
+        DebugService(max_sessions=args.max_sessions)
+        if args.max_sessions
+        else DebugService()
+    )
+    if args.port is None:
+        serve_stdio(service)
+    else:
+        serve_tcp(service, args.host, args.port)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,702 @@
+"""Transport-independent debug sessions and JSON-RPC method dispatch.
+
+One :class:`DebugService` owns any number of isolated debug sessions.
+Each session is a complete, freshly-seeded simulation — kernel, power
+system, target device, EDB board, executor — so two sessions can never
+share breakpoint registries, monitor state, or RNG streams.  A single
+service-wide lock serialises method execution (the simulator is not
+thread-safe; sessions are cheap enough that serialisation is not a
+bottleneck for a debugging workload).
+
+Breakpoints are keyed by **server-assigned integer handles**, mapped to
+the live :class:`~repro.core.breakpoints.Breakpoint` instances by
+identity.  This is what makes ``break.remove`` exact in the presence of
+duplicate registrations — together with the identity-based
+``BreakpointManager.remove``, removing handle 7 removes exactly the
+registration handle 7 names.
+
+Memory and register access routes through a console-initiated
+:class:`~repro.core.session.InteractiveSession` (tether, target-side
+protocol exchange, restore), so every RPC access costs the target
+exactly what the interactive console's ``read``/``write`` commands
+cost.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.campaign.apps import ADAPTERS, get_adapter
+from repro.core.board import BreakEvent
+from repro.core.breakpoints import Breakpoint
+from repro.core.console import DebugConsole
+from repro.core.debugger import EDB
+from repro.core.session import InteractiveSession
+from repro.debug.errors import (
+    InvalidParams,
+    MethodNotFound,
+    RpcError,
+    SessionLimit,
+    SessionNotFound,
+    TargetError,
+    UnknownHandle,
+)
+from repro.campaign.watchdog import RunWatchdog
+from repro.mcu.device import TargetDevice
+from repro.power.wisp import make_wisp_power_system
+from repro.runtime.executor import IntermittentExecutor
+from repro.sim import units
+from repro.sim.kernel import Simulator
+from repro.testing import fast_wisp_constants, make_bench_target
+
+#: Power-system presets for ``session.create``.
+POWER_SYSTEMS = ("wisp", "fast", "bench")
+
+#: Safety net: a long-lived server must not leak simulators.
+DEFAULT_MAX_SESSIONS = 32
+
+#: Default watchdog budget for ``run``/``emulate`` (simulated cycles).
+#: Generous — a 2 s WISP run is ~8M cycles — but finite, so a livelocked
+#: guest cannot wedge the server for good.  Override per call.
+DEFAULT_MAX_CYCLES = 200_000_000
+
+
+def _jsonable(value: Any) -> Any:
+    """Fold simulator values into JSON-representable ones."""
+    if isinstance(value, (bytes, bytearray)):
+        return {"hex": bytes(value).hex()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _param(params: dict, name: str, kind, default=..., convert=None):
+    """One validated keyword parameter (``...`` marks it required)."""
+    if name not in params:
+        if default is ...:
+            raise InvalidParams(f"missing required param {name!r}")
+        return default
+    value = params[name]
+    if kind is float and isinstance(value, int) and not isinstance(value, bool):
+        value = float(value)
+    if kind is int and isinstance(value, bool):
+        raise InvalidParams(f"param {name!r} must be {kind.__name__}")
+    if not isinstance(value, kind):
+        raise InvalidParams(
+            f"param {name!r} must be {getattr(kind, '__name__', kind)}, "
+            f"got {type(value).__name__}"
+        )
+    return convert(value) if convert else value
+
+
+class _BreakAction:
+    """One scripted step executed inside a breakpoint's session."""
+
+    OPS = (
+        "read",
+        "read_u16",
+        "write_u16",
+        "vcap",
+        "charge",
+        "discharge",
+        "registers",
+    )
+
+    def __init__(self, spec: dict) -> None:
+        if not isinstance(spec, dict):
+            raise InvalidParams("each action must be an object")
+        self.op = _param(spec, "op", str)
+        if self.op not in self.OPS:
+            raise InvalidParams(
+                f"unknown action op {self.op!r}; have {list(self.OPS)}"
+            )
+        self.address = _param(spec, "address", int, None)
+        self.count = _param(spec, "count", int, 2)
+        self.value = _param(spec, "value", int, None)
+        self.volts = _param(spec, "volts", float, None)
+        if self.op in ("read", "read_u16", "write_u16") and self.address is None:
+            raise InvalidParams(f"action {self.op!r} needs an address")
+        if self.op == "write_u16" and self.value is None:
+            raise InvalidParams('action "write_u16" needs a value')
+        if self.op in ("charge", "discharge") and self.volts is None:
+            raise InvalidParams(f"action {self.op!r} needs volts")
+
+    def apply(self, session: InteractiveSession) -> Any:
+        if self.op == "read":
+            return {"hex": session.read_bytes(self.address, self.count).hex()}
+        if self.op == "read_u16":
+            return session.read_u16(self.address)
+        if self.op == "write_u16":
+            session.write_u16(self.address, self.value)
+            return self.value
+        if self.op == "vcap":
+            return session.vcap()
+        if self.op == "charge":
+            return session.charge(self.volts)
+        if self.op == "discharge":
+            return session.discharge(self.volts)
+        if self.op == "registers":
+            return session.registers()
+        raise AssertionError(self.op)
+
+
+class DebugSession:
+    """One isolated simulated target with EDB attached.
+
+    Everything a session touches hangs off its own freshly-seeded
+    :class:`Simulator`; nothing is shared with sibling sessions.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        *,
+        app: str,
+        power: str,
+        seed: int,
+        protect: bool,
+        iterations: int,
+        distance_m: float | None,
+        fading_sigma: float,
+        sample_rate: float | None,
+    ) -> None:
+        if power not in POWER_SYSTEMS:
+            raise InvalidParams(
+                f"unknown power system {power!r}; have {list(POWER_SYSTEMS)}"
+            )
+        self.id = session_id
+        self.app = app
+        self.power_name = power
+        self.seed = seed
+        self.sim = Simulator(seed=seed)
+        if power == "bench":
+            self.device = make_bench_target(self.sim)
+        elif power == "fast":
+            self.device = TargetDevice(
+                self.sim,
+                make_wisp_power_system(
+                    self.sim,
+                    constants=fast_wisp_constants(),
+                    distance_m=distance_m,
+                    fading_sigma=fading_sigma,
+                ),
+                constants=fast_wisp_constants(),
+            )
+        else:
+            self.device = TargetDevice(
+                self.sim,
+                make_wisp_power_system(
+                    self.sim, distance_m=distance_m, fading_sigma=fading_sigma
+                ),
+            )
+        self.edb = EDB(
+            self.sim,
+            self.device,
+            sample_rate=sample_rate if sample_rate else 4 * units.KHZ,
+        )
+        self.adapter = get_adapter(app)
+        self.program = self.adapter.build(protect, iterations)
+        self.executor = IntermittentExecutor(
+            self.sim, self.device, self.program, edb=self.edb.libedb()
+        )
+        # Server-assigned breakpoint handles -> live instances.
+        self.handles: dict[int, Breakpoint] = {}
+        self._next_handle = 1
+        # Scripted on-break actions and their per-stop transcripts.
+        self.break_actions: list[_BreakAction] = []
+        self.break_log: list[dict] = []
+        self.edb.on_break(self._on_break)
+
+    # -- breakpoint handle registry ---------------------------------------
+    def register(self, bp: Breakpoint) -> int:
+        handle = self._next_handle
+        self._next_handle += 1
+        self.handles[handle] = bp
+        return handle
+
+    def lookup(self, handle: int) -> Breakpoint:
+        try:
+            return self.handles[handle]
+        except KeyError:
+            raise UnknownHandle(
+                f"no breakpoint handle {handle} in session {self.id!r}"
+            ) from None
+
+    # -- live break servicing ----------------------------------------------
+    def _on_break(self, event: BreakEvent, session: InteractiveSession) -> None:
+        record: dict[str, Any] = {
+            "reason": event.reason,
+            "time": event.time,
+            "vcap": event.vcap,
+            "results": [],
+        }
+        if session is not None:
+            for action in self.break_actions:
+                record["results"].append(
+                    {"op": action.op, "value": _jsonable(action.apply(session))}
+                )
+            record["transcript"] = list(session.transcript)
+        self.break_log.append(record)
+
+    # -- console-equivalent tethered access --------------------------------
+    def in_session(self, action: Callable[[InteractiveSession], Any]) -> Any:
+        """Run one host access inside a console-initiated session.
+
+        The exact bracket :meth:`DebugConsole._in_session` uses: tether
+        (unless already tethered by an open break/assert session), do
+        the access through the target-side protocol, restore with the
+        trim-up path.
+        """
+        board = self.edb.board
+        assert board.energy is not None
+        event = BreakEvent(
+            reason="console",
+            time=self.sim.now,
+            vcap=self.device.power.vcap,
+        )
+        already_tethered = board.energy.in_active_task or self.edb.is_tethered
+        if not already_tethered:
+            board.energy.begin_task()
+        try:
+            return action(InteractiveSession(board, event))
+        finally:
+            if not already_tethered:
+                board.energy.end_task(trim_up=True)
+
+    def describe(self) -> dict:
+        power = self.device.power
+        return {
+            "session": self.id,
+            "app": self.app,
+            "power": self.power_name,
+            "seed": self.seed,
+            "time": self.sim.now,
+            "vcap": power.vcap,
+            "state": power.state.value,
+            "tethered": power.is_tethered,
+            "reboots": self.device.reboot_count,
+            "cycles": self.device.cycles_executed,
+            "breakpoints": len(self.handles),
+        }
+
+    def close(self) -> None:
+        self.edb.detach()
+
+
+class DebugService:
+    """Session registry + JSON-RPC method table.
+
+    Transport-independent: :meth:`dispatch` takes a method name and a
+    params dict, returns a JSON-safe result, and signals failures by
+    raising :class:`~repro.debug.errors.RpcError` subclasses.  The
+    stdio/TCP server and in-process tests both sit on top of this.
+    """
+
+    def __init__(self, max_sessions: int = DEFAULT_MAX_SESSIONS) -> None:
+        self.max_sessions = max_sessions
+        self.sessions: dict[str, DebugSession] = {}
+        self._next_session = 1
+        self._lock = threading.RLock()
+        self._methods: dict[str, Callable[[dict], Any]] = {
+            "debug.ping": self._ping,
+            "debug.methods": self._methods_list,
+            "session.create": self._session_create,
+            "session.list": self._session_list,
+            "session.close": self._session_close,
+            "session.status": self._session_status,
+            "break.add_code": self._break_add_code,
+            "break.add_energy": self._break_add_energy,
+            "break.add_combined": self._break_add_combined,
+            "break.set_enabled": self._break_set_enabled,
+            "break.remove": self._break_remove,
+            "break.list": self._break_list,
+            "break.on_hit": self._break_on_hit,
+            "break.log": self._break_log,
+            "watch.pc": self._watch_pc,
+            "unwatch.pc": self._unwatch_pc,
+            "watch.set_enabled": self._watch_set_enabled,
+            "energy.charge": self._energy_charge,
+            "energy.discharge": self._energy_discharge,
+            "energy.vcap": self._energy_vcap,
+            "mem.read": self._mem_read,
+            "mem.write": self._mem_write,
+            "regs.read": self._regs_read,
+            "trace.enable": self._trace_enable,
+            "trace.disable": self._trace_disable,
+            "trace.poll": self._trace_poll,
+            "run": self._run,
+            "emulate": self._emulate,
+            "debug.divergence_context": self._divergence_context,
+        }
+
+    # -- dispatch -----------------------------------------------------------
+    def dispatch(self, method: str, params: dict) -> Any:
+        """Execute one method; raises :class:`RpcError` on any failure."""
+        handler = self._methods.get(method)
+        if handler is None:
+            raise MethodNotFound(f"unknown method {method!r}")
+        with self._lock:
+            try:
+                return handler(params)
+            except RpcError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - server must survive
+                raise TargetError.wrap(exc) from exc
+
+    def close_all(self) -> None:
+        """Tear down every open session (server shutdown)."""
+        with self._lock:
+            for session in self.sessions.values():
+                session.close()
+            self.sessions.clear()
+
+    def _get(self, params: dict) -> DebugSession:
+        session_id = _param(params, "session", str)
+        try:
+            return self.sessions[session_id]
+        except KeyError:
+            raise SessionNotFound(f"no session {session_id!r}") from None
+
+    # -- misc ----------------------------------------------------------------
+    def _ping(self, params: dict) -> dict:
+        from repro import __version__
+
+        return {"pong": True, "version": __version__}
+
+    def _methods_list(self, params: dict) -> dict:
+        return {"methods": sorted(self._methods)}
+
+    # -- session management -------------------------------------------------
+    def _session_create(self, params: dict) -> dict:
+        if len(self.sessions) >= self.max_sessions:
+            raise SessionLimit(
+                f"session limit of {self.max_sessions} reached; close one first"
+            )
+        app = _param(params, "app", str, "fibonacci")
+        if app not in ADAPTERS:
+            raise InvalidParams(
+                f"unknown app {app!r}; available: {sorted(ADAPTERS)}"
+            )
+        session_id = f"s{self._next_session}"
+        self._next_session += 1
+        session = DebugSession(
+            session_id,
+            app=app,
+            power=_param(params, "power", str, "wisp"),
+            seed=_param(params, "seed", int, 1),
+            protect=_param(params, "protect", bool, False),
+            iterations=_param(params, "iterations", int, 16),
+            distance_m=_param(params, "distance_m", float, None),
+            fading_sigma=_param(params, "fading_sigma", float, 0.0),
+            sample_rate=_param(params, "sample_rate", float, None),
+        )
+        self.sessions[session_id] = session
+        return session.describe()
+
+    def _session_list(self, params: dict) -> dict:
+        return {
+            "sessions": [
+                self.sessions[sid].describe() for sid in sorted(self.sessions)
+            ]
+        }
+
+    def _session_close(self, params: dict) -> dict:
+        session = self._get(params)
+        session.close()
+        del self.sessions[session.id]
+        return {"closed": session.id}
+
+    def _session_status(self, params: dict) -> dict:
+        return self._get(params).describe()
+
+    # -- breakpoints ----------------------------------------------------------
+    def _break_add_code(self, params: dict) -> dict:
+        session = self._get(params)
+        bp = session.edb.break_at(
+            _param(params, "id", int), one_shot=_param(params, "one_shot", bool, False)
+        )
+        return {"handle": session.register(bp), "breakpoint": bp.describe()}
+
+    def _break_add_energy(self, params: dict) -> dict:
+        session = self._get(params)
+        bp = session.edb.break_on_energy(
+            _param(params, "threshold_v", float),
+            one_shot=_param(params, "one_shot", bool, False),
+        )
+        return {"handle": session.register(bp), "breakpoint": bp.describe()}
+
+    def _break_add_combined(self, params: dict) -> dict:
+        session = self._get(params)
+        bp = session.edb.break_combined(
+            _param(params, "id", int),
+            _param(params, "threshold_v", float),
+            one_shot=_param(params, "one_shot", bool, False),
+        )
+        return {"handle": session.register(bp), "breakpoint": bp.describe()}
+
+    def _break_set_enabled(self, params: dict) -> dict:
+        session = self._get(params)
+        bp = session.lookup(_param(params, "handle", int))
+        bp.enabled = _param(params, "enabled", bool)
+        return {"handle": params["handle"], "breakpoint": bp.describe()}
+
+    def _break_remove(self, params: dict) -> dict:
+        session = self._get(params)
+        handle = _param(params, "handle", int)
+        bp = session.lookup(handle)
+        removed = session.edb.breakpoints.remove(bp)
+        del session.handles[handle]
+        return {"handle": handle, "removed": removed}
+
+    def _break_list(self, params: dict) -> dict:
+        session = self._get(params)
+        return {
+            "breakpoints": [
+                {
+                    "handle": handle,
+                    "kind": bp.kind.value,
+                    "id": bp.breakpoint_id,
+                    "threshold_v": bp.energy_threshold,
+                    "enabled": bp.enabled,
+                    "one_shot": bp.one_shot,
+                    "hits": bp.hits,
+                }
+                for handle, bp in sorted(session.handles.items())
+            ]
+        }
+
+    def _break_on_hit(self, params: dict) -> dict:
+        """Install the scripted per-stop action list (replaces any prior).
+
+        Breakpoints are serviced synchronously *inside* ``run`` — the
+        wire client cannot be consulted mid-run — so the inspect/charge
+        steps a console user would type into a live session are sent up
+        front and executed in the breakpoint's
+        :class:`InteractiveSession`, exactly as a console ``on_break``
+        handler would.  ``break.log`` returns the per-stop transcripts.
+        """
+        session = self._get(params)
+        actions = params.get("actions", [])
+        if not isinstance(actions, list):
+            raise InvalidParams('"actions" must be a list of action objects')
+        session.break_actions = [_BreakAction(spec) for spec in actions]
+        return {"actions": len(session.break_actions)}
+
+    def _break_log(self, params: dict) -> dict:
+        session = self._get(params)
+        cursor = _param(params, "cursor", int, 0)
+        if cursor < 0:
+            raise InvalidParams('"cursor" must be >= 0')
+        stops = session.break_log[cursor:]
+        return {
+            "stops": _jsonable(stops),
+            "next_cursor": cursor + len(stops),
+        }
+
+    # -- raw-PC watches -------------------------------------------------------
+    def _watch_pc(self, params: dict) -> dict:
+        session = self._get(params)
+        pc = _param(params, "pc", int)
+        session.edb.watch_pc(pc)
+        return {"pc": pc & 0xFFFF, "watched": True}
+
+    def _unwatch_pc(self, params: dict) -> dict:
+        session = self._get(params)
+        pc = _param(params, "pc", int)
+        session.edb.unwatch_pc(pc)
+        return {"pc": pc & 0xFFFF, "watched": False}
+
+    def _watch_set_enabled(self, params: dict) -> dict:
+        """Console ``watch en|dis <id>``: mask a watchpoint id."""
+        session = self._get(params)
+        wp_id = _param(params, "id", int)
+        enabled = _param(params, "enabled", bool)
+        disabled = session.edb.monitor.disabled_watchpoints
+        if enabled:
+            disabled.discard(wp_id)
+        else:
+            disabled.add(wp_id)
+        return {"id": wp_id, "enabled": enabled}
+
+    # -- energy manipulation ---------------------------------------------------
+    def _energy_charge(self, params: dict) -> dict:
+        session = self._get(params)
+        return {"vcap": session.edb.charge(self._volts(params))}
+
+    def _energy_discharge(self, params: dict) -> dict:
+        session = self._get(params)
+        return {"vcap": session.edb.discharge(self._volts(params))}
+
+    @staticmethod
+    def _volts(params: dict) -> float:
+        volts = _param(params, "volts", float)
+        if not 0.0 <= volts <= 5.5:
+            raise InvalidParams(f"volts {volts} out of range 0..5.5")
+        return volts
+
+    def _energy_vcap(self, params: dict) -> dict:
+        session = self._get(params)
+        power = session.device.power
+        return {
+            "vcap": power.vcap,
+            "vreg": power.vreg,
+            "state": power.state.value,
+            "tethered": power.is_tethered,
+        }
+
+    # -- memory / registers (console-initiated sessions) ---------------------
+    def _mem_read(self, params: dict) -> dict:
+        session = self._get(params)
+        address = _param(params, "address", int)
+        count = _param(params, "count", int, 2)
+        if count < 1:
+            raise InvalidParams('"count" must be >= 1')
+        data = session.in_session(lambda s: s.read_bytes(address, count))
+        return {"address": address, "hex": data.hex()}
+
+    def _mem_write(self, params: dict) -> dict:
+        session = self._get(params)
+        address = _param(params, "address", int)
+        if "value" in params:
+            value = _param(params, "value", int)
+            session.in_session(lambda s: s.write_u16(address, value))
+            return {"address": address, "written": 2}
+        data_hex = _param(params, "data", str)
+        try:
+            data = bytes.fromhex(data_hex)
+        except ValueError:
+            raise InvalidParams(f'"data" is not valid hex: {data_hex!r}') from None
+        if not data:
+            raise InvalidParams('"data" must not be empty')
+        session.in_session(lambda s: s.write_bytes(address, data))
+        return {"address": address, "written": len(data)}
+
+    def _regs_read(self, params: dict) -> dict:
+        session = self._get(params)
+        return {"registers": session.in_session(lambda s: s.registers())}
+
+    # -- passive tracing -------------------------------------------------------
+    def _trace_enable(self, params: dict) -> dict:
+        session = self._get(params)
+        stream = _param(params, "stream", str)
+        try:
+            session.edb.trace(stream)
+        except ValueError as exc:
+            raise InvalidParams(str(exc)) from None
+        return {"stream": stream, "enabled": True}
+
+    def _trace_disable(self, params: dict) -> dict:
+        session = self._get(params)
+        stream = _param(params, "stream", str)
+        session.edb.untrace(stream)
+        return {"stream": stream, "enabled": False}
+
+    def _trace_poll(self, params: dict) -> dict:
+        """Cursor-based incremental read of the monitor's event list.
+
+        The cursor indexes the session's unified event list (all
+        streams), so repeated polls see every event exactly once, in
+        order, regardless of the optional ``stream`` filter (filtering
+        happens after the slice; the cursor still advances over the
+        filtered-out events).
+        """
+        session = self._get(params)
+        cursor = _param(params, "cursor", int, 0)
+        limit = _param(params, "limit", int, 1024)
+        stream = _param(params, "stream", str, None)
+        if cursor < 0:
+            raise InvalidParams('"cursor" must be >= 0')
+        if limit < 1:
+            raise InvalidParams('"limit" must be >= 1')
+        events = session.edb.monitor.events
+        window = events[cursor : cursor + limit]
+        out = [
+            {
+                "time": e.time,
+                "stream": e.stream,
+                "value": _jsonable(e.value),
+                "vcap": e.vcap,
+            }
+            for e in window
+            if stream is None or e.stream == stream
+        ]
+        next_cursor = cursor + len(window)
+        return {
+            "events": out,
+            "next_cursor": next_cursor,
+            "remaining": max(0, len(events) - next_cursor),
+        }
+
+    # -- execution --------------------------------------------------------------
+    def _run(self, params: dict) -> dict:
+        session = self._get(params)
+        duration = _param(params, "duration", float)
+        if duration <= 0:
+            raise InvalidParams('"duration" must be > 0')
+        max_cycles = _param(params, "max_cycles", int, DEFAULT_MAX_CYCLES)
+        max_wall_s = _param(params, "max_wall_s", float, 0.0)
+        with RunWatchdog(session.device, max_cycles, max_wall_s):
+            result = session.executor.run(
+                duration=duration,
+                stop_on_fault=_param(params, "stop_on_fault", bool, False),
+            )
+        return {
+            "status": result.status.value,
+            "sim_time": result.sim_time,
+            "boots": result.boots,
+            "reboots": result.reboots,
+            "faults": list(result.faults),
+            "first_fault_time": result.first_fault_time,
+            "detail": _jsonable(result.detail),
+            "vcap": session.device.power.vcap,
+        }
+
+    def _emulate(self, params: dict) -> dict:
+        from repro.core.emulation import IntermittenceEmulator
+
+        session = self._get(params)
+        cycles = _param(params, "cycles", int)
+        if cycles < 1:
+            raise InvalidParams('"cycles" must be >= 1')
+        turn_on = _param(params, "turn_on_voltage", float, 2.4)
+        max_cycles = _param(params, "max_cycles", int, DEFAULT_MAX_CYCLES)
+        emulator = IntermittenceEmulator(session.edb, session.program)
+        emulator.api = session.executor.api  # share the program's statics
+        emulator._flashed = session.executor._flashed
+        with RunWatchdog(session.device, max_cycles, 0.0):
+            result = emulator.run(cycles=cycles, turn_on_voltage=turn_on)
+        session.executor._flashed = True
+        return {
+            "cycles": [
+                {
+                    "index": c.index,
+                    "turn_on_voltage": c.turn_on_voltage,
+                    "start_time": c.start_time,
+                    "active_time": c.active_time,
+                    "outcome": c.outcome,
+                    "detail": _jsonable(c.detail),
+                }
+                for c in result.cycles
+            ],
+            "outcome": result.outcome,
+            "brownouts": result.count("brownout"),
+            "faults": result.count("fault"),
+        }
+
+    # -- fault root-cause -------------------------------------------------------
+    def _divergence_context(self, params: dict) -> dict:
+        session = self._get(params)
+        tail = _param(params, "tail", int, 64)
+        if tail < 1:
+            raise InvalidParams('"tail" must be >= 1')
+        return session.edb.divergence_context(tail=tail)
+
+
+def make_console(session: DebugSession, echo=None) -> DebugConsole:
+    """A Table-1 console bound to a server session (debug/REPL helper)."""
+    return DebugConsole(session.edb, executor=session.executor, echo=echo)

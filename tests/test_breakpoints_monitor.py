@@ -78,8 +78,33 @@ class TestBreakpointManager:
     def test_remove(self):
         manager = BreakpointManager()
         bp = manager.add_energy(2.0)
-        manager.remove(bp)
+        assert manager.remove(bp) is True
         assert manager.check_energy(1.5) is None
+
+    def test_remove_absent_is_noop(self):
+        manager = BreakpointManager()
+        manager.add_code(1)
+        stray = Breakpoint(BreakpointKind.CODE, breakpoint_id=1)
+        assert manager.remove(stray) is False
+        assert len(manager.breakpoints) == 1
+
+    def test_remove_duplicate_registration_targets_exact_instance(self):
+        """Removal matches by identity, not dataclass value-equality.
+
+        Two identical registrations (same kind/id, zero hits) compare
+        equal; removing the *second* instance must not silently delete
+        the first.
+        """
+        manager = BreakpointManager()
+        first = manager.add_code(7)
+        second = manager.add_code(7)
+        assert first == second and first is not second
+        assert manager.remove(second) is True
+        assert manager.breakpoints == [first]
+        assert manager.breakpoints[0] is first
+        # And removing it again is a no-op, not a hit on `first`.
+        assert manager.remove(second) is False
+        assert manager.breakpoints[0] is first
 
     def test_active_lists_enabled_only(self):
         manager = BreakpointManager()
@@ -200,3 +225,25 @@ class TestPassiveMonitor:
         monitor.clear()
         assert monitor.events == []
         assert monitor.watchpoint_stats(1).hits == 0
+
+    def test_clear_resets_disabled_watchpoints(self):
+        """A reused monitor must not keep suppressing watchpoints a
+        previous session disabled (console ``watch dis id``)."""
+        _, _, monitor = self._monitor()
+        monitor.disabled_watchpoints.add(3)
+        monitor.on_watchpoint(3)
+        assert monitor.watchpoint_stats(3).hits == 0
+        monitor.clear()
+        assert monitor.disabled_watchpoints == set()
+        monitor.on_watchpoint(3)
+        assert monitor.watchpoint_stats(3).hits == 1
+
+    def test_clear_keeps_listeners(self):
+        """Listeners are wiring, not session data — they survive clear()."""
+        _, _, monitor = self._monitor()
+        seen = []
+        monitor.listeners.append(seen.append)
+        monitor.clear()
+        monitor.enable("rfid")
+        monitor.on_rfid("msg")
+        assert len(seen) == 1

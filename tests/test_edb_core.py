@@ -302,3 +302,49 @@ class TestActiveManagerEdgeCases:
         edb.release()
         edb.release()
         assert not device.power.is_tethered
+
+
+class TestDivergenceContext:
+    def test_watchpoint_hits_without_tracing(self, rig):
+        """Hit counts come from the monitor's aggregate stats.
+
+        The campaign's capture leg (and any passive-mode attach) counts
+        every decoded marker pulse in ``monitor.watchpoints`` whether or
+        not the "watchpoints" *stream* is being traced; deriving counts
+        from the stream reads zero whenever tracing was off.
+        """
+        device, edb, api = rig
+        api.edb_watchpoint(3)
+        api.edb_watchpoint(3)
+        api.edb_watchpoint(7)
+        context = edb.divergence_context()
+        assert context["watchpoint_hits"] == {"3": 2, "7": 1}
+
+    def test_hits_match_trace_derived_counts_when_traced(self, rig):
+        """With tracing on from the start, both derivations agree."""
+        device, edb, api = rig
+        edb.trace("watchpoints")
+        for _ in range(4):
+            api.edb_watchpoint(1)
+        context = edb.divergence_context()
+        stream_counts = {}
+        for event in edb.monitor.stream_events("watchpoints"):
+            key = str(event.value)
+            stream_counts[key] = stream_counts.get(key, 0) + 1
+        assert context["watchpoint_hits"] == stream_counts == {"1": 4}
+
+
+class TestEnergySamplingListener:
+    def test_arm_energy_sampling_is_idempotent(self, rig):
+        """Arming once per energy breakpoint must not stack listeners."""
+        device, edb, api = rig
+        edb.break_on_energy(2.0)
+        edb.break_on_energy(1.9)
+        edb.break_on_energy(2.1)
+        board = edb.board
+        count = sum(
+            1
+            for listener in edb.monitor.listeners
+            if listener == board._energy_sample_listener
+        )
+        assert count == 1

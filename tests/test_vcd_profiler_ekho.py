@@ -4,7 +4,7 @@ import pytest
 
 from repro import PowerFailure, Simulator, TargetDevice, make_wisp_power_system
 from repro.core.monitor import PassiveMonitor
-from repro.core.profiler import EnergyProfiler
+from repro.core.profiler import EnergyProfiler, _percentile
 from repro.instruments import Oscilloscope
 from repro.power.ekho import HarvestRecorder, record_environment
 from repro.power.harvester import RFHarvester, TraceDrivenSource
@@ -132,6 +132,55 @@ class TestEnergyProfiler:
         text = profiler.report()
         assert "iteration:" in text
         assert "ghost: (no complete occurrences)" in text
+
+    def test_percentile_uses_nearest_rank(self):
+        """p90 of 10 known samples is the 9th sample, not the maximum.
+
+        The old floor-based index returned ``ordered[9]`` (= p100) for
+        p90 of 10 samples; nearest-rank is ``ceil(0.9 * 10) - 1 = 8``.
+        """
+        samples = [float(i) for i in range(1, 11)]  # 1.0 .. 10.0
+        assert _percentile(samples, 0.9) == 9.0
+        assert _percentile(samples, 0.5) == 5.0
+        assert _percentile(samples, 1.0) == 10.0
+        assert _percentile(samples, 0.0) == 1.0
+        assert _percentile([4.2], 0.9) == 4.2
+        with pytest.raises(ValueError):
+            _percentile([], 0.5)
+
+    def test_region_p90_pinned_on_known_samples(self):
+        """RegionStats.energy_p90_j for a synthetic 10-sample region."""
+        sim = Simulator(seed=11)
+        vcap = {"v": 2.4}
+        monitor = PassiveMonitor(
+            sim, read_vcap=lambda: vcap["v"], read_vreg=lambda: 2.0
+        )
+        capacitance = 47 * units.UF
+        # 10 iterations with per-iteration voltage drops of 1..10 mV:
+        # energy costs are strictly increasing, so ranks are unambiguous.
+        drops_mv = list(range(1, 11))
+        costs = []
+        for drop in drops_mv:
+            v_start = 2.4
+            v_end = v_start - drop * 1e-3
+            vcap["v"] = v_start
+            monitor.on_watchpoint(1)
+            sim.advance(1e-3)
+            vcap["v"] = v_end
+            monitor.on_watchpoint(2)
+            sim.advance(1e-3)
+            vcap["v"] = 2.4  # recharge between iterations
+            costs.append(
+                units.cap_energy(capacitance, v_start)
+                - units.cap_energy(capacitance, v_end)
+            )
+        profiler = EnergyProfiler(monitor, capacitance)
+        profiler.define_region("r", 1, 2)
+        stats = profiler.stats("r")
+        assert stats.count == 10
+        ordered = sorted(costs)
+        assert stats.energy_p90_j == pytest.approx(ordered[8])  # 9th, not max
+        assert stats.energy_median_j == pytest.approx(ordered[4])
 
     def test_duplicate_region_rejected(self):
         monitor, capacitance = self._profiled_monitor()
