@@ -23,5 +23,8 @@ python -m pytest -q -m fuzz_smoke
 echo "== debug-server smoke: spawn, session, run, trace, shutdown =="
 python -m pytest -q -m debug_smoke
 
+echo "== chaos smoke: fixed-seed host-fault injection, golden bytes =="
+python -m pytest -q -m chaos_smoke
+
 echo "== tier-1-adjacent: perf gate =="
 python -m repro.perf --check --quick --out /tmp/BENCH_perf_check.json

@@ -28,6 +28,7 @@ from repro.campaign.config import FAULT_MODES, CampaignConfig
 from repro.campaign.errors import (
     ERROR_KINDS,
     BudgetError,
+    CampaignWarning,
     GuestFault,
     HostFault,
     RunError,
@@ -43,7 +44,13 @@ from repro.campaign.faults import (
     StateCorruptor,
     plan_faults,
 )
-from repro.campaign.journal import JournalMismatch, JournalWriter, load_journal
+from repro.campaign.journal import (
+    JournalMismatch,
+    JournalScan,
+    JournalWriter,
+    load_journal,
+    scan_journal,
+)
 from repro.campaign.oracle import (
     AGREE,
     DIVERGED,
@@ -77,6 +84,7 @@ __all__ = [
     "NONTERMINATING",
     "BudgetError",
     "CampaignConfig",
+    "CampaignWarning",
     "CommitBoundaryTrigger",
     "EnergyLevelTrigger",
     "FAULT_MODES",
@@ -84,6 +92,7 @@ __all__ = [
     "GuestFault",
     "HostFault",
     "JournalMismatch",
+    "JournalScan",
     "JournalWriter",
     "Observation",
     "RebootRecorder",
@@ -107,6 +116,7 @@ __all__ = [
     "run_campaign",
     "run_continuous_leg",
     "run_intermittent_leg",
+    "scan_journal",
     "shrink_schedule",
     "verdict_for_schedule",
     "write_report",

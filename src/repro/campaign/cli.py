@@ -106,7 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "(crash-safe checkpoint for --resume)")
     parser.add_argument("--resume", metavar="PATH",
                         help="resume from a journal: skip its completed runs "
-                             "and keep appending to it")
+                             "and keep appending to it (corrupted lines are "
+                             "quarantined and their runs re-executed)")
+    parser.add_argument("--fsync-journal", action="store_true",
+                        help="fsync the journal after every chunk line "
+                             "(durable against host power loss, slower)")
     parser.add_argument("--fail-fast", action="store_true",
                         help="stop scheduling new runs after the first "
                              "diverged or errored record (partial report)")
@@ -245,6 +249,7 @@ def main(argv: list[str] | None = None) -> int:
             fail_fast=args.fail_fast,
             snapshot=args.snapshot,
             corpus_path=args.corpus,
+            journal_fsync=args.fsync_journal,
         )
     except JournalMismatch as exc:
         print(f"error: {exc}", file=sys.stderr)

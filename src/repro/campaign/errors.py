@@ -51,6 +51,18 @@ ERROR_KINDS = (GUEST_FAULT, HOST_FAULT, BUDGET_EXCEEDED, WORKER_LOST)
 HOST_SIDE_KINDS = (HOST_FAULT, WORKER_LOST)
 
 
+class CampaignWarning(UserWarning):
+    """A non-fatal host-side problem the campaign recovered from.
+
+    Emitted (via :mod:`warnings`) for conditions that degrade
+    durability or observability without threatening the report's
+    correctness: a journal append failing mid-campaign, corrupted
+    journal lines quarantined during a resume.  Warnings deliberately
+    live *outside* the report, which stays byte-identical to a
+    fault-free run.
+    """
+
+
 class RunError(Exception):
     """Base of the taxonomy; every subclass pins its ``kind``."""
 

@@ -715,6 +715,7 @@ def run_fuzz_campaign(
     fail_fast: bool = False,
     snapshot: bool = True,
     corpus_path: str | None = None,
+    journal_fsync: bool = False,
 ) -> dict:
     """Run a coverage-guided fuzz campaign and return its report.
 
@@ -739,9 +740,13 @@ def run_fuzz_campaign(
     journal: JournalWriter | None = None
     if resume_from is not None:
         records = load_journal(resume_from, config)
-        journal = JournalWriter(resume_from, config, fresh=False)
+        journal = JournalWriter(
+            resume_from, config, fresh=False, fsync=journal_fsync
+        )
     elif journal_path is not None:
-        journal = JournalWriter(journal_path, config, fresh=True)
+        journal = JournalWriter(
+            journal_path, config, fresh=True, fsync=journal_fsync
+        )
 
     adapter = get_adapter(config.app)
     requires_stimulus = bool(getattr(adapter, "requires_stimulus", False))

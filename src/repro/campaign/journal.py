@@ -8,22 +8,45 @@ terminated line), a campaign killed at any instant leaves a journal
 whose complete lines are all valid — the half-written tail line, if
 any, is simply discarded on load.
 
+Format 2 hardens the file against *host* faults, not just clean kills:
+
+- every line is **CRC-framed** (``{"crc": N, "data": {...}}`` with
+  ``N = crc32`` of the canonical serialisation of ``data``), so a
+  bit-flipped or torn *interior* line — a failing disk, a concurrent
+  writer, a torn write that later got appended over — is detected,
+  **quarantined, and skipped** instead of crashing the load or
+  silently feeding garbage records into a resumed report;
+- append-mode opens terminate a torn tail with a newline first, so a
+  resume never merges its first new line into the debris of the write
+  the previous campaign died inside;
+- append failures (disk full, revoked permissions) disable the writer
+  and surface a structured :class:`CampaignWarning` while the campaign
+  continues in memory — a sick journal never kills a healthy campaign;
+- ``fsync=True`` additionally syncs every line to stable storage,
+  trading throughput for power-failure durability of the host itself.
+
 ``--resume <journal>`` replays the journal's records instead of
-re-executing their runs, re-chunks only the missing indices, and keeps
-appending to the same file.  Records are deterministic for a fixed
-seed, so a resumed campaign's final report is byte-identical to an
-uninterrupted one.
+re-executing their runs, re-chunks only the missing indices (including
+any lost to quarantined lines), and keeps appending to the same file.
+Records are deterministic for a fixed seed, so a resumed campaign's
+final report is byte-identical to an uninterrupted one — even when the
+journal it resumed from was torn or corrupted.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import warnings
+import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO
 
 from repro.campaign.config import CampaignConfig
+from repro.campaign.errors import CampaignWarning
 
-JOURNAL_FORMAT = 1
+JOURNAL_FORMAT = 2
 
 #: Config keys that do not influence record content — a resume may
 #: legitimately change them (more workers, different chunking, a
@@ -43,34 +66,167 @@ def _record_relevant(config_dict: dict) -> dict:
     }
 
 
-class JournalWriter:
-    """Appends chunk-completion lines to a journal file."""
+# -- CRC framing --------------------------------------------------------------
+def _body(payload: dict) -> bytes:
+    """The canonical serialisation the CRC covers."""
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
 
-    def __init__(self, path: str | Path, config: CampaignConfig,
-                 fresh: bool = True) -> None:
+
+def frame_line(payload: dict) -> str:
+    """One CRC-framed journal line (``\\n``-terminated)."""
+    return (
+        json.dumps(
+            {"crc": zlib.crc32(_body(payload)), "data": payload},
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+def unframe_line(line: str) -> dict:
+    """Validate one framed line and return its payload.
+
+    Raises ``ValueError`` on anything short of a fully intact frame:
+    unparseable JSON, a missing envelope, or a CRC mismatch.
+    """
+    entry = json.loads(line)
+    if (
+        not isinstance(entry, dict)
+        or "data" not in entry
+        or not isinstance(entry.get("crc"), int)
+    ):
+        raise ValueError("not a CRC-framed journal line")
+    if zlib.crc32(_body(entry["data"])) != entry["crc"]:
+        raise ValueError("journal line CRC mismatch")
+    return entry["data"]
+
+
+def _salvage_indices(line: str) -> list[int] | None:
+    """Best-effort index recovery from a CRC-failed (but parseable) line.
+
+    The indices are *reporting* material only — the records on a failed
+    line are never trusted — but naming the runs a corrupted line took
+    with it makes the quarantine actionable.
+    """
+    try:
+        entry = json.loads(line)
+        indices = entry["data"]["indices"]
+    except (ValueError, TypeError, KeyError):
+        return None
+    if isinstance(indices, list) and all(isinstance(i, int) for i in indices):
+        return indices
+    return None
+
+
+class JournalWriter:
+    """Appends CRC-framed chunk-completion lines to a journal file.
+
+    ``fsync=True`` syncs every line to stable storage.  ``stream``
+    substitutes an already-open text stream for the file (the
+    resilience layer's injection seam — see
+    :mod:`repro.resilience.chaosio`).
+
+    Append errors after construction (disk full, revoked permissions)
+    never propagate: the writer records a structured :attr:`failure`,
+    emits a :class:`CampaignWarning`, and silently drops subsequent
+    lines so the campaign finishes in memory.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        config: CampaignConfig,
+        fresh: bool = True,
+        *,
+        fsync: bool = False,
+        stream: IO[str] | None = None,
+    ) -> None:
         self.path = Path(path)
+        self.fsync = fsync
+        self.failure: dict | None = None
         self._file: IO[str]
-        if fresh:
+        if stream is not None:
+            self._file = stream
+        elif fresh:
             self._file = self.path.open("w")
+        else:
+            self._file = self.path.open("a")
+        if fresh:
             self._write_line(
                 {"journal": JOURNAL_FORMAT, "config": config.to_dict()}
             )
-        else:
-            self._file = self.path.open("a")
+        elif stream is None:
+            self._terminate_torn_tail()
+
+    def _terminate_torn_tail(self) -> None:
+        """Newline-terminate the file if a torn write left it open-ended.
+
+        Without this, the first appended line would merge into the torn
+        debris and be lost with it; with it, the debris becomes one
+        quarantinable garbage line and every new line stays intact.
+        """
+        try:
+            with self.path.open("rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() == 0:
+                    return
+                fh.seek(-1, os.SEEK_END)
+                torn = fh.read(1) != b"\n"
+            if torn:
+                self._file.write("\n")
+                self._file.flush()
+        except OSError:
+            pass
 
     def _write_line(self, payload: dict) -> None:
-        self._file.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._file.write(frame_line(payload))
         self._file.flush()
+        if self.fsync:
+            try:
+                os.fsync(self._file.fileno())
+            except (OSError, ValueError, AttributeError):
+                pass  # not a real file (StringIO, chaos stream): flushed is all
 
     def chunk_done(self, records: list[dict]) -> None:
-        """Journal one finished chunk's records."""
-        self._write_line(
-            {"indices": [r["index"] for r in records], "records": records}
-        )
+        """Journal one finished chunk's records.
+
+        A write failure (torn by the host, disk full, permission
+        revoked) disables the writer instead of crashing the campaign:
+        the records live on in memory, the failure is surfaced as a
+        structured :class:`CampaignWarning`, and a later ``--resume``
+        simply re-executes whatever the journal is missing.
+        """
+        if self.failure is not None:
+            return
+        try:
+            self._write_line(
+                {"indices": [r["index"] for r in records], "records": records}
+            )
+        except OSError as exc:
+            self.failure = {
+                "path": str(self.path),
+                "error": f"{type(exc).__name__}: {exc}",
+                "action": "journaling disabled; campaign continuing in memory",
+            }
+            warnings.warn(
+                f"journal {self.path}: append failed "
+                f"({self.failure['error']}); journaling disabled, campaign "
+                f"continuing in memory — a later --resume re-executes the "
+                f"unjournalled runs",
+                CampaignWarning,
+                stacklevel=2,
+            )
+            try:
+                self._file.close()
+            except OSError:
+                pass
 
     def close(self) -> None:
         if not self._file.closed:
-            self._file.close()
+            try:
+                self._file.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "JournalWriter":
         return self
@@ -79,47 +235,117 @@ class JournalWriter:
         self.close()
 
 
+@dataclass
+class JournalScan:
+    """Everything a journal load learned, corruption included."""
+
+    records: dict[int, dict] = field(default_factory=dict)
+    #: One entry per quarantined line:
+    #: ``{"line": n, "indices": [...] | None, "reason": str}``.
+    quarantined: list[dict] = field(default_factory=list)
+    truncated_tail: bool = False
+
+    @property
+    def quarantined_indices(self) -> list[int]:
+        """Run indices named by quarantined lines (best effort)."""
+        out: list[int] = []
+        for entry in self.quarantined:
+            out.extend(entry["indices"] or ())
+        return sorted(set(out))
+
+
+def scan_journal(path: str | Path, config: CampaignConfig) -> JournalScan:
+    """Load a journal, quarantining corruption instead of raising.
+
+    Raises :class:`JournalMismatch` only for header-level problems (a
+    missing/corrupt header, a different campaign's config).  Body-line
+    damage is never fatal:
+
+    - a final line that fails to parse is the **truncated tail** of a
+      campaign killed mid-write and is silently dropped;
+    - an *interior* line that fails to parse, fails its CRC, or lacks
+      the frame envelope is **quarantined**: reported (with its run
+      indices when they can be salvaged) and skipped, so the resumed
+      campaign re-executes exactly the runs the damage cost.
+
+    Records beyond ``config.runs`` (a resume with fewer runs) are
+    dropped.  A non-empty quarantine emits a :class:`CampaignWarning`.
+    """
+    path = Path(path)
+    scan = JournalScan()
+    # A bit-flipped byte can make the file undecodable as UTF-8;
+    # replacement (not strict) decoding keeps the read alive so the
+    # damaged line fails its CRC and is quarantined like any other.
+    with path.open(encoding="utf-8", errors="replace") as fh:
+        lines = fh.readlines()
+    if not lines:
+        raise JournalMismatch(f"{path} has no valid journal header")
+    try:
+        header = unframe_line(lines[0])
+    except ValueError:
+        raise JournalMismatch(f"{path} has no valid journal header") from None
+    if header.get("journal") != JOURNAL_FORMAT:
+        raise JournalMismatch(
+            f"{path} is not a format-{JOURNAL_FORMAT} campaign journal"
+        )
+    theirs = _record_relevant(header.get("config", {}))
+    ours = _record_relevant(config.to_dict())
+    if theirs != ours:
+        changed = sorted(
+            k for k in set(theirs) | set(ours)
+            if theirs.get(k) != ours.get(k)
+        )
+        raise JournalMismatch(
+            f"journal {path} was recorded for a different campaign "
+            f"(differs in: {changed})"
+        )
+    last = len(lines) - 1
+    for number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            entry = unframe_line(line)
+        except ValueError as exc:
+            if number - 1 == last and not line.endswith("\n"):
+                # The classic kill signature: an unterminated final
+                # line the dying write never finished.
+                scan.truncated_tail = True
+            else:
+                scan.quarantined.append(
+                    {
+                        "line": number,
+                        "indices": _salvage_indices(line),
+                        "reason": str(exc),
+                    }
+                )
+            continue
+        for record in entry.get("records", ()):
+            if (
+                isinstance(record, dict)
+                and isinstance(record.get("index"), int)
+                and 0 <= record["index"] < config.runs
+            ):
+                scan.records[record["index"]] = record
+    if scan.quarantined:
+        named = scan.quarantined_indices
+        warnings.warn(
+            f"journal {path}: quarantined {len(scan.quarantined)} corrupted "
+            f"line(s) at {[q['line'] for q in scan.quarantined]}"
+            + (f" covering run indices {named}" if named else "")
+            + "; the affected runs will be re-executed",
+            CampaignWarning,
+            stacklevel=2,
+        )
+    return scan
+
+
 def load_journal(
     path: str | Path, config: CampaignConfig
 ) -> dict[int, dict]:
-    """Load completed records from a journal, keyed by run index.
+    """Completed records from a journal, keyed by run index.
 
-    Raises :class:`JournalMismatch` when the journal's config differs
-    from ``config`` in any record-relevant field (execution-only knobs
-    like worker count may change between sessions).  A truncated final
-    line — the signature of a campaign killed mid-write — is ignored;
-    records beyond ``config.runs`` (a resume with fewer runs) are
-    dropped.
+    The tolerant façade over :func:`scan_journal`: corruption is
+    quarantined (and warned about), never raised — only header-level
+    mismatches raise :class:`JournalMismatch`.
     """
-    path = Path(path)
-    records: dict[int, dict] = {}
-    with path.open() as fh:
-        header_line = fh.readline()
-        try:
-            header = json.loads(header_line)
-        except json.JSONDecodeError:
-            raise JournalMismatch(f"{path} has no valid journal header")
-        if header.get("journal") != JOURNAL_FORMAT:
-            raise JournalMismatch(
-                f"{path} is not a format-{JOURNAL_FORMAT} campaign journal"
-            )
-        theirs = _record_relevant(header.get("config", {}))
-        ours = _record_relevant(config.to_dict())
-        if theirs != ours:
-            changed = sorted(
-                k for k in set(theirs) | set(ours)
-                if theirs.get(k) != ours.get(k)
-            )
-            raise JournalMismatch(
-                f"journal {path} was recorded for a different campaign "
-                f"(differs in: {changed})"
-            )
-        for line in fh:
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                break  # truncated tail: the campaign died mid-write
-            for record in entry.get("records", ()):
-                if 0 <= record["index"] < config.runs:
-                    records[record["index"]] = record
-    return records
+    return scan_journal(path, config).records

@@ -428,6 +428,7 @@ def run_campaign(
     fail_fast: bool = False,
     snapshot: bool = True,
     corpus_path: str | None = None,
+    journal_fsync: bool = False,
 ) -> dict:
     """Execute a full campaign under supervision and return the report.
 
@@ -439,8 +440,13 @@ def run_campaign(
     ``journal_path`` journals completed chunks as they finish;
     ``resume_from`` loads such a journal, skips its completed runs, and
     appends new chunks to the same file (the two are mutually
-    exclusive; resume implies journaling).  ``fail_fast`` stops
-    scheduling new work after the first diverged or errored record.
+    exclusive; resume implies journaling).  Corrupted journal lines are
+    quarantined on load — their runs simply re-execute — and a journal
+    that stops accepting appends mid-campaign downgrades to a
+    :class:`~repro.campaign.errors.CampaignWarning` instead of killing
+    the campaign.  ``journal_fsync`` syncs every journal line to stable
+    storage.  ``fail_fast`` stops scheduling new work after the first
+    diverged or errored record.
 
     ``snapshot`` (default on) enables the snapshot/fork execution
     paths — prefix-grouped run forking, memoized continuous legs, and
@@ -467,6 +473,7 @@ def run_campaign(
             config, progress, journal_path=journal_path,
             resume_from=resume_from, fail_fast=fail_fast,
             snapshot=snapshot, corpus_path=corpus_path,
+            journal_fsync=journal_fsync,
         )
     if corpus_path is not None:
         raise ValueError("corpus_path requires mode='fuzz'")
@@ -476,9 +483,13 @@ def run_campaign(
     journal: JournalWriter | None = None
     if resume_from is not None:
         records = load_journal(resume_from, config)
-        journal = JournalWriter(resume_from, config, fresh=False)
+        journal = JournalWriter(
+            resume_from, config, fresh=False, fsync=journal_fsync
+        )
     elif journal_path is not None:
-        journal = JournalWriter(journal_path, config, fresh=True)
+        journal = JournalWriter(
+            journal_path, config, fresh=True, fsync=journal_fsync
+        )
 
     remaining = [i for i in range(config.runs) if i not in records]
     supervisor = _Supervisor(

@@ -23,7 +23,7 @@ target observes.
 """
 
 from repro.debug.client import DebugClient, DebugRpcError, RemoteSession
-from repro.debug.errors import RpcError
+from repro.debug.errors import RpcError, SessionLost
 from repro.debug.service import DebugService
 
 __all__ = [
@@ -32,4 +32,5 @@ __all__ = [
     "DebugService",
     "RemoteSession",
     "RpcError",
+    "SessionLost",
 ]

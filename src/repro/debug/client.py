@@ -14,6 +14,15 @@ console::
         session.charge(2.4)
         print(session.run(0.5)["status"])
         events = session.poll_trace()["events"]
+
+Transport failures are **typed and terminal**: a dropped connection, a
+response timeout, or desynchronised framing raises
+:class:`~repro.debug.errors.SessionLost` (a :class:`ConnectionError`)
+and marks the client dead — later calls fail fast instead of blocking
+on a corpse.  :meth:`DebugClient.connect_tcp` retries the initial
+connect with exponential backoff (a server still binding its socket is
+not an error), and applies its ``timeout`` per request, so a wedged or
+stalled server surfaces as ``SessionLost`` instead of a hang.
 """
 
 from __future__ import annotations
@@ -23,9 +32,11 @@ import json
 import socket
 import subprocess
 import sys
+import time
 from typing import Any, Callable
 
 from repro.debug import protocol
+from repro.debug.errors import SessionLost
 
 
 class DebugRpcError(Exception):
@@ -51,14 +62,39 @@ class DebugClient:
         self._recv_line = recv_line
         self._close = close
         self._ids = itertools.count(1)
+        self._lost: SessionLost | None = None
 
     # -- constructors -------------------------------------------------------
     @classmethod
     def connect_tcp(
-        cls, host: str, port: int, timeout: float = 30.0
+        cls,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        *,
+        retries: int = 3,
+        backoff_s: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> "DebugClient":
-        """Connect to a running ``--port`` server."""
-        sock = socket.create_connection((host, port), timeout=timeout)
+        """Connect to a running ``--port`` server.
+
+        The connect is retried ``retries`` times with exponential
+        backoff (``backoff_s * 2**attempt``) — a server that has not
+        finished binding yet is a race, not a failure.  ``timeout``
+        then applies **per request**: a response that takes longer
+        raises :class:`SessionLost`.
+        """
+        attempt = 0
+        while True:
+            try:
+                sock = socket.create_connection((host, port), timeout=timeout)
+                break
+            except OSError:
+                if attempt >= retries:
+                    raise
+                sleep(backoff_s * (2**attempt))
+                attempt += 1
+        sock.settimeout(timeout if timeout else None)
         reader = sock.makefile("r", encoding="utf-8", newline="\n")
 
         def send(line: str) -> None:
@@ -116,8 +152,24 @@ class DebugClient:
         return client
 
     # -- transport ----------------------------------------------------------
+    def _lose(self, why: str, cause: BaseException | None = None) -> SessionLost:
+        """Mark the transport dead; every call from now on fails fast."""
+        self._lost = SessionLost(why)
+        try:
+            self._close()
+        except OSError:
+            pass
+        raise self._lost from cause
+
     def call(self, method: str, **params: Any) -> Any:
-        """One JSON-RPC call; returns the result or raises DebugRpcError."""
+        """One JSON-RPC call; returns the result or raises DebugRpcError.
+
+        Transport failures — drop, timeout, broken framing — raise
+        :class:`SessionLost` and kill the client; server-side failures
+        raise :class:`DebugRpcError` and the connection stays usable.
+        """
+        if self._lost is not None:
+            raise self._lost
         request_id = next(self._ids)
         request = {
             "jsonrpc": protocol.JSONRPC_VERSION,
@@ -126,13 +178,21 @@ class DebugClient:
         }
         if params:
             request["params"] = params
-        self._send_line(json.dumps(request) + "\n")
-        line = self._recv_line()
+        try:
+            self._send_line(json.dumps(request) + "\n")
+            line = self._recv_line()
+        except SessionLost:
+            raise
+        except OSError as exc:  # timeouts are OSError too
+            self._lose(f"transport failed during {method!r}: {exc}", exc)
         if not line:
-            raise ConnectionError("server closed the connection")
-        response = json.loads(line)
+            self._lose(f"server closed the connection during {method!r}")
+        try:
+            response = json.loads(line)
+        except ValueError as exc:
+            self._lose(f"unparseable response line during {method!r}", exc)
         if response.get("id") != request_id:
-            raise ConnectionError(
+            self._lose(
                 f"out-of-order response: sent id {request_id}, "
                 f"got {response.get('id')!r}"
             )

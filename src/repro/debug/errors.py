@@ -83,3 +83,17 @@ class UnknownHandle(RpcError):
 
 class SessionLimit(RpcError):
     code = SESSION_LIMIT
+
+
+class SessionLost(ConnectionError):
+    """The transport under a client died mid-conversation.
+
+    Not an :class:`RpcError`: no server answered — the connection
+    dropped, a response timed out, or framing desynchronised.  It
+    subclasses :class:`ConnectionError` so existing ``except
+    ConnectionError`` callers keep working, while new callers can
+    distinguish a lost transport (reconnect, new session) from a
+    server-reported failure (``DebugRpcError``).  Once a client raises
+    this, the connection is dead: every later call fails fast with the
+    same error instead of blocking on a corpse.
+    """

@@ -24,7 +24,9 @@ cost.
 
 from __future__ import annotations
 
+import collections
 import threading
+import time
 from typing import Any, Callable
 
 from repro.campaign.apps import ADAPTERS, get_adapter
@@ -60,6 +62,12 @@ DEFAULT_MAX_SESSIONS = 32
 #: Generous — a 2 s WISP run is ~8M cycles — but finite, so a livelocked
 #: guest cannot wedge the server for good.  Override per call.
 DEFAULT_MAX_CYCLES = 200_000_000
+
+#: How many reaped session ids are remembered so that a client
+#: reconnecting after its session expired gets a *specific* error
+#: ("expired", with the reason) instead of a bare "no such session".
+#: Bounded so an eternal server cannot leak memory one id at a time.
+EXPIRED_MEMORY = 64
 
 
 def _jsonable(value: Any) -> Any:
@@ -210,6 +218,9 @@ class DebugSession:
         # Scripted on-break actions and their per-stop transcripts.
         self.break_actions: list[_BreakAction] = []
         self.break_log: list[dict] = []
+        # Stamped by the owning service's clock (budget bookkeeping).
+        self.created_at = 0.0
+        self.last_used = 0.0
         self.edb.on_break(self._on_break)
 
     # -- breakpoint handle registry ---------------------------------------
@@ -297,9 +308,27 @@ class DebugService:
     stdio/TCP server and in-process tests both sit on top of this.
     """
 
-    def __init__(self, max_sessions: int = DEFAULT_MAX_SESSIONS) -> None:
+    def __init__(
+        self,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        *,
+        session_ttl_s: float | None = None,
+        session_idle_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self.max_sessions = max_sessions
+        #: Wall-clock budgets; ``None`` disables the corresponding reap.
+        #: ``session_ttl_s`` bounds a session's total lifetime,
+        #: ``session_idle_s`` the gap between uses.  The clock is
+        #: injectable so the reaper is testable without sleeping.
+        self.session_ttl_s = session_ttl_s
+        self.session_idle_s = session_idle_s
+        self.clock = clock
         self.sessions: dict[str, DebugSession] = {}
+        #: Recently reaped ids -> reason, for clean "expired" errors.
+        self.expired: collections.OrderedDict[str, str] = (
+            collections.OrderedDict()
+        )
         self._next_session = 1
         self._lock = threading.RLock()
         self._methods: dict[str, Callable[[dict], Any]] = {
@@ -341,12 +370,44 @@ class DebugService:
         if handler is None:
             raise MethodNotFound(f"unknown method {method!r}")
         with self._lock:
+            self._reap()
             try:
                 return handler(params)
             except RpcError:
                 raise
             except Exception as exc:  # noqa: BLE001 - server must survive
                 raise TargetError.wrap(exc) from exc
+
+    def _reap(self) -> None:
+        """Close sessions over their wall/idle budget (lock held).
+
+        Reaping happens on dispatch rather than on a timer thread: a
+        server nobody talks to holds its sessions (harmless — they are
+        inert simulators), and the moment anyone talks to it the
+        budgets are enforced before the request runs.
+        """
+        if self.session_ttl_s is None and self.session_idle_s is None:
+            return
+        now = self.clock()
+        for sid in list(self.sessions):
+            session = self.sessions[sid]
+            reason = None
+            if (
+                self.session_ttl_s is not None
+                and now - session.created_at > self.session_ttl_s
+            ):
+                reason = f"exceeded its {self.session_ttl_s:g}s lifetime"
+            elif (
+                self.session_idle_s is not None
+                and now - session.last_used > self.session_idle_s
+            ):
+                reason = f"idle longer than {self.session_idle_s:g}s"
+            if reason is not None:
+                session.close()
+                del self.sessions[sid]
+                self.expired[sid] = reason
+                while len(self.expired) > EXPIRED_MEMORY:
+                    self.expired.popitem(last=False)
 
     def close_all(self) -> None:
         """Tear down every open session (server shutdown)."""
@@ -358,9 +419,17 @@ class DebugService:
     def _get(self, params: dict) -> DebugSession:
         session_id = _param(params, "session", str)
         try:
-            return self.sessions[session_id]
+            session = self.sessions[session_id]
         except KeyError:
+            reason = self.expired.get(session_id)
+            if reason is not None:
+                raise SessionNotFound(
+                    f"session {session_id!r} expired ({reason}); "
+                    f"create a new one"
+                ) from None
             raise SessionNotFound(f"no session {session_id!r}") from None
+        session.last_used = self.clock()
+        return session
 
     # -- misc ----------------------------------------------------------------
     def _ping(self, params: dict) -> dict:
@@ -395,6 +464,8 @@ class DebugService:
             fading_sigma=_param(params, "fading_sigma", float, 0.0),
             sample_rate=_param(params, "sample_rate", float, None),
         )
+        # Budget bookkeeping is the service's (it owns the clock).
+        session.created_at = session.last_used = self.clock()
         self.sessions[session_id] = session
         return session.describe()
 

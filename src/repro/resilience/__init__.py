@@ -1,0 +1,59 @@
+"""Host-fault resilience: deterministic chaos injection for the tooling.
+
+The campaign engine and debug server promise determinism and
+byte-identical reports *for the guest's faults*; this package attacks
+the **host side** of that promise — the journal file, the snapshot
+payloads, the debug server's wire — with faults that are themselves
+seed-derived and replayable:
+
+- :mod:`repro.resilience.plan` — :class:`HostFaultPlan` /
+  :func:`plan_host_faults`: one seed-derived decision record per chaos
+  run, drawn with the same fixed-order discipline as the campaign's
+  guest-fault axes;
+- :mod:`repro.resilience.chaosio` — journal tears, bit flips,
+  disk-full writers, snapshot rot;
+- :mod:`repro.resilience.transport` — corrupted / truncated / dropped
+  / stalled debug-client requests.
+
+The recovery machinery it exercises lives with the artifacts it
+protects: CRC framing and quarantine in
+:mod:`repro.campaign.journal`, restore-time checksums in
+:mod:`repro.snapshot`, bounded parsing and session reaping in
+:mod:`repro.debug`.  The chaos suite (``tests/test_resilience.py``)
+asserts the end-to-end contract: a campaign that survived injected
+host faults produces a report **byte-identical** to a fault-free run,
+and no wire input kills the debug server.  See ``docs/RESILIENCE.md``.
+"""
+
+from repro.resilience.chaosio import (
+    ChaosJournalWriter,
+    chaos_capture,
+    corrupt_journal,
+    corrupt_snapshot,
+    flip_bit,
+    tear_file,
+    tear_journal,
+)
+from repro.resilience.plan import (
+    HOST_FAULT_AXES,
+    HostFaultPlan,
+    RpcFaultPlan,
+    plan_host_faults,
+)
+from repro.resilience.transport import ChaosTransport, chaos_client
+
+__all__ = [
+    "HOST_FAULT_AXES",
+    "ChaosJournalWriter",
+    "ChaosTransport",
+    "HostFaultPlan",
+    "RpcFaultPlan",
+    "chaos_capture",
+    "chaos_client",
+    "corrupt_journal",
+    "corrupt_snapshot",
+    "flip_bit",
+    "plan_host_faults",
+    "tear_file",
+    "tear_journal",
+]

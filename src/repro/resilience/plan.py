@@ -1,0 +1,186 @@
+"""Seed-derived host-fault plans: the chaos campaign's randomness.
+
+The campaign's fault axes (brown-out placement, environment, FRAM
+corruption) attack the *guest*; a :class:`HostFaultPlan` attacks the
+**host tooling itself** — the journal file, the snapshot payloads, the
+debug server's wire.  Plans are drawn exactly like every other fault
+axis in this codebase: from one ``random.Random`` seeded by
+:func:`repro.sim.rng.derive_seed`, so a chaos run is replayable from
+its master seed alone and adding a new axis never perturbs the draws
+of existing ones.
+
+Axes (each independently enable-able):
+
+- ``journal_tear`` — truncate the journal at a fractional byte offset,
+  the on-disk signature of a host killed mid-``write``;
+- ``journal_corrupt`` — flip one bit at a fractional byte offset, the
+  signature of a failing disk or a concurrent writer;
+- ``journal_enospc`` — the journal's backing stream starts refusing
+  writes after N lines (disk full / revoked permissions);
+- ``snapshot_corrupt`` — rot one captured snapshot in memory (every
+  ``snapshot_period``-th capture), which the restore-time checksum
+  must catch;
+- ``rpc_corrupt`` / ``rpc_truncate`` / ``rpc_drop`` / ``rpc_stall`` —
+  damage the debug client's wire: flip a byte in request N, send
+  request N without its terminating newline, drop the connection
+  instead of sending request N, or stall for ``rpc_stall_s`` before
+  request N.
+
+The plan only *decides*; the injectors in
+:mod:`repro.resilience.chaosio` and :mod:`repro.resilience.transport`
+carry the decisions out.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sim.rng import derive_seed
+
+#: Every host-fault axis a plan can draw.  Order is meaningful only as
+#: documentation; draws happen unconditionally for *all* axes so the
+#: seed->plan mapping is stable under any axis subset.
+HOST_FAULT_AXES = (
+    "journal_tear",
+    "journal_corrupt",
+    "journal_enospc",
+    "snapshot_corrupt",
+    "rpc_corrupt",
+    "rpc_truncate",
+    "rpc_drop",
+    "rpc_stall",
+)
+
+
+@dataclass(frozen=True)
+class RpcFaultPlan:
+    """Wire-level faults for one debug-client connection.
+
+    Requests are numbered from 1 in transport order.  ``None`` means
+    the axis never fires on this connection.
+    """
+
+    corrupt_request: int | None = None
+    corrupt_byte_frac: float = 0.0  # position within the line, 0..1
+    corrupt_bit: int = 0
+    truncate_request: int | None = None
+    truncate_frac: float = 0.5  # keep this fraction of the line
+    drop_request: int | None = None
+    stall_request: int | None = None
+    stall_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (chaos-suite reports and golden files)."""
+        return {
+            "corrupt_request": self.corrupt_request,
+            "corrupt_byte_frac": self.corrupt_byte_frac,
+            "corrupt_bit": self.corrupt_bit,
+            "truncate_request": self.truncate_request,
+            "truncate_frac": self.truncate_frac,
+            "drop_request": self.drop_request,
+            "stall_request": self.stall_request,
+            "stall_s": self.stall_s,
+        }
+
+
+@dataclass(frozen=True)
+class HostFaultPlan:
+    """The materialised host-fault decisions of one chaos run."""
+
+    seed: int
+    axes: tuple[str, ...]
+    #: Fractional byte offset to truncate the journal at (``journal_tear``).
+    journal_tear_frac: float | None = None
+    #: Fractional byte offset / bit to flip (``journal_corrupt``).
+    journal_flip_frac: float | None = None
+    journal_flip_bit: int = 0
+    #: The journal stream refuses writes after this many lines
+    #: (``journal_enospc``).
+    journal_fail_after: int | None = None
+    #: Corrupt every Nth snapshot capture (``snapshot_corrupt``).
+    snapshot_period: int | None = None
+    rpc: RpcFaultPlan = RpcFaultPlan()
+
+    def enabled(self, axis: str) -> bool:
+        return axis in self.axes
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (chaos-suite reports and golden files)."""
+        return {
+            "seed": self.seed,
+            "axes": list(self.axes),
+            "journal_tear_frac": self.journal_tear_frac,
+            "journal_flip_frac": self.journal_flip_frac,
+            "journal_flip_bit": self.journal_flip_bit,
+            "journal_fail_after": self.journal_fail_after,
+            "snapshot_period": self.snapshot_period,
+            "rpc": self.rpc.to_dict(),
+        }
+
+
+def plan_host_faults(
+    seed: int, axes: tuple[str, ...] = HOST_FAULT_AXES
+) -> HostFaultPlan:
+    """Draw one chaos run's host-fault plan from the master seed.
+
+    Every axis is drawn unconditionally in a fixed order — disabled
+    axes simply discard their draws — so enabling or disabling an axis
+    never changes what the other axes do for the same seed (the same
+    discipline as :func:`repro.campaign.faults.plan_faults`).
+    """
+    unknown = set(axes) - set(HOST_FAULT_AXES)
+    if unknown:
+        raise ValueError(
+            f"unknown host-fault axes {sorted(unknown)}; "
+            f"have {list(HOST_FAULT_AXES)}"
+        )
+    rng = random.Random(derive_seed(seed, "host-faults"))
+    tear_frac = round(rng.uniform(0.05, 0.98), 6)
+    flip_frac = round(rng.uniform(0.05, 0.98), 6)
+    flip_bit = rng.randint(0, 7)
+    fail_after = rng.randint(1, 8)
+    snapshot_period = rng.randint(2, 6)
+    rpc_draws = {
+        "corrupt_request": rng.randint(2, 6),
+        "corrupt_byte_frac": round(rng.uniform(0.1, 0.9), 6),
+        "corrupt_bit": rng.randint(0, 7),
+        "truncate_request": rng.randint(2, 6),
+        "truncate_frac": round(rng.uniform(0.2, 0.8), 6),
+        "drop_request": rng.randint(2, 6),
+        "stall_request": rng.randint(2, 6),
+        "stall_s": round(rng.uniform(0.05, 0.5), 6),
+    }
+    enabled = set(axes)
+    rpc = RpcFaultPlan(
+        corrupt_request=(
+            rpc_draws["corrupt_request"] if "rpc_corrupt" in enabled else None
+        ),
+        corrupt_byte_frac=rpc_draws["corrupt_byte_frac"],
+        corrupt_bit=rpc_draws["corrupt_bit"],
+        truncate_request=(
+            rpc_draws["truncate_request"] if "rpc_truncate" in enabled else None
+        ),
+        truncate_frac=rpc_draws["truncate_frac"],
+        drop_request=(
+            rpc_draws["drop_request"] if "rpc_drop" in enabled else None
+        ),
+        stall_request=(
+            rpc_draws["stall_request"] if "rpc_stall" in enabled else None
+        ),
+        stall_s=rpc_draws["stall_s"],
+    )
+    return HostFaultPlan(
+        seed=seed,
+        axes=tuple(a for a in HOST_FAULT_AXES if a in enabled),
+        journal_tear_frac=tear_frac if "journal_tear" in enabled else None,
+        journal_flip_frac=flip_frac if "journal_corrupt" in enabled else None,
+        journal_flip_bit=flip_bit,
+        journal_fail_after=(
+            fail_after if "journal_enospc" in enabled else None
+        ),
+        snapshot_period=(
+            snapshot_period if "snapshot_corrupt" in enabled else None
+        ),
+        rpc=rpc,
+    )

@@ -1,0 +1,116 @@
+"""Wire-fault injection for the debug client's transport.
+
+A :class:`ChaosTransport` sits between a
+:class:`~repro.debug.client.DebugClient` and its real byte stream,
+damaging the *request* path according to an
+:class:`~repro.resilience.plan.RpcFaultPlan`:
+
+- **corrupt** — one character of request N is bit-flipped, so the
+  server sees garbage (or a differently-shaped request) and must
+  answer with a JSON-RPC error instead of dying;
+- **truncate** — request N is sent without its terminating newline,
+  so it merges with request N+1 into one garbage line (the
+  line-oriented protocol's version of a partial write);
+- **drop** — the connection is closed instead of sending request N,
+  the client-visible signature of a server reboot or a network cut;
+- **stall** — request N is delayed by ``stall_s`` before sending,
+  which a client-side per-request timeout must bound.
+
+The server-facing contract these faults probe: **no wire input may
+kill the server or leak a session**; the client-facing contract:
+transport failures surface as typed errors
+(:class:`~repro.debug.errors.SessionLost` / ``DebugRpcError``), never
+as hangs or interpreter-level exceptions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.debug.client import DebugClient
+from repro.resilience.plan import RpcFaultPlan
+
+
+class ChaosTransport:
+    """Fault-injecting wrapper around (send, recv, close) callables."""
+
+    def __init__(
+        self,
+        send_line: Callable[[str], None],
+        recv_line: Callable[[], str],
+        close: Callable[[], None],
+        plan: RpcFaultPlan,
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._send = send_line
+        self._recv = recv_line
+        self._close = close
+        self.plan = plan
+        self.requests = 0
+        self.dropped = False
+        self.injected: list[str] = []
+        self._sleep = sleep
+
+    def send(self, line: str) -> None:
+        self.requests += 1
+        n = self.requests
+        plan = self.plan
+        if self.dropped:
+            raise ConnectionError("chaos: connection already dropped")
+        if plan.stall_request == n and plan.stall_s > 0:
+            self.injected.append(f"stall:{n}")
+            self._sleep(plan.stall_s)
+        if plan.drop_request == n:
+            self.injected.append(f"drop:{n}")
+            self.dropped = True
+            self._close()
+            raise ConnectionError(
+                f"chaos: connection dropped before request {n}"
+            )
+        if plan.truncate_request == n:
+            self.injected.append(f"truncate:{n}")
+            body = line.rstrip("\n")
+            keep = max(1, int(len(body) * plan.truncate_frac))
+            self._send(body[:keep])  # no newline: merges into the next line
+            return
+        if plan.corrupt_request == n:
+            self.injected.append(f"corrupt:{n}")
+            body = line.rstrip("\n")
+            index = min(
+                len(body) - 1,
+                max(0, int(len(body) * plan.corrupt_byte_frac)),
+            )
+            flipped = chr((ord(body[index]) ^ (1 << plan.corrupt_bit)) & 0x7F)
+            if flipped == "\n":  # keep the damage inside one line
+                flipped = "\x00"
+            self._send(body[:index] + flipped + body[index + 1 :] + "\n")
+            return
+        self._send(line)
+
+    def recv(self) -> str:
+        if self.dropped:
+            return ""  # what a real read on a dead socket yields
+        return self._recv()
+
+    def close(self) -> None:
+        if not self.dropped:
+            self._close()
+        self.dropped = True
+
+
+def chaos_client(client: DebugClient, plan: RpcFaultPlan) -> DebugClient:
+    """Interpose a :class:`ChaosTransport` onto an existing client.
+
+    Returns a new :class:`DebugClient` sharing the original's byte
+    stream but with the plan's wire faults injected; the transport is
+    exposed as ``.transport`` for assertions.  Close the returned
+    client (not the original) when done.
+    """
+    transport = ChaosTransport(
+        client._send_line, client._recv_line, client._close, plan
+    )
+    wrapped = DebugClient(transport.send, transport.recv, transport.close)
+    wrapped.transport = transport
+    return wrapped

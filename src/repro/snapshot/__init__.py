@@ -21,6 +21,13 @@ Two capture modes:
   — the DiCA-style cheap-capture discipline.  Clean pages are shared
   by reference between snapshots; pages are immutable ``bytes``.
 
+Every capture is **checksummed** (CRC32 over memory pages and CPU
+registers) and every restore verifies the checksum before touching the
+device, raising :class:`SnapshotIntegrityError` on a mismatch — the
+same refuse-to-restore-garbage discipline the target-side checkpoint
+system's Fletcher-16 enforces, applied to the host's own snapshots
+(see ``docs/RESILIENCE.md``).
+
 Deliberately *not* captured:
 
 - host-side state — wall-clock watchdog polls, journal writers,
@@ -36,6 +43,7 @@ Deliberately *not* captured:
 
 from __future__ import annotations
 
+import zlib
 from typing import Any
 
 from repro.mcu.device import TargetDevice
@@ -73,6 +81,34 @@ _SOURCE_ATTRS = (
 )
 
 _MISSING = object()
+
+
+class SnapshotIntegrityError(RuntimeError):
+    """A snapshot failed its checksum at restore time.
+
+    Restoring a corrupted snapshot would silently poison every
+    downstream trajectory (and, in the campaign's fork engine, every
+    record forked from it), so corruption is detected *before* the
+    device is touched.  The snapshot/fork execution paths treat this
+    exactly like any other mid-session failure: the affected runs fall
+    back to the honest from-reset path.
+    """
+
+
+def _snapshot_integrity(
+    pages: dict[str, tuple[bytes, ...]], registers: tuple
+) -> int:
+    """CRC32 over a snapshot's payload (memory pages + CPU registers).
+
+    Region names participate so pages cannot silently swap regions;
+    iteration is sorted so the checksum is independent of dict order.
+    """
+    crc = zlib.crc32(repr(registers).encode("ascii"))
+    for name in sorted(pages):
+        crc = zlib.crc32(name.encode("utf-8"), crc)
+        for page in pages[name]:
+            crc = zlib.crc32(page, crc)
+    return crc
 
 
 def _pages_of(region: MemoryRegion) -> list[bytes]:
@@ -187,6 +223,7 @@ class DeviceSnapshot:
         "tether",
         "source_attrs",
         "tether_attrs",
+        "integrity",
     )
 
 
@@ -287,6 +324,7 @@ def capture(
         if power._tether is not None
         else ()
     )
+    snap.integrity = _snapshot_integrity(snap.memory_pages, snap.cpu_registers)
     return snap
 
 
@@ -300,7 +338,20 @@ def restore(
     Derived caches — the CPU's decoded-instruction cache, the GPIO load
     current sum — are invalidated; they rebuild lazily and are keyed on
     the restored state.  Live host-side simulator events are preserved.
+
+    The snapshot's checksum is verified *before* the device is touched;
+    a payload that rotted since capture (a host-fault-injected bit
+    flip, a real memory error) raises :class:`SnapshotIntegrityError`
+    and leaves the device exactly as it was.
     """
+    expected = getattr(snap, "integrity", None)
+    if expected is not None and expected != _snapshot_integrity(
+        snap.memory_pages, snap.cpu_registers
+    ):
+        raise SnapshotIntegrityError(
+            "snapshot payload failed its checksum: the captured state was "
+            "corrupted after capture; refusing to restore it"
+        )
     sim = device.sim
     sim._now = snap.sim_now
     sim._seq = snap.sim_seq

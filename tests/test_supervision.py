@@ -25,6 +25,7 @@ from repro import Simulator
 from repro.campaign import (
     BudgetError,
     CampaignConfig,
+    CampaignWarning,
     ERROR,
     GuestFault,
     HostFault,
@@ -353,6 +354,43 @@ class TestJournalAndResume:
             fh.write('{"indices": [1], "rec')  # killed mid-write
         records = load_journal(journal, RESUME_CONFIG)
         assert list(records) == [0]
+
+    def test_interior_corruption_is_quarantined_not_fatal(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        with JournalWriter(journal, RESUME_CONFIG) as writer:
+            writer.chunk_done(
+                [error_record(RESUME_CONFIG, 0, GuestFault("x"))]
+            )
+            writer.chunk_done(
+                [error_record(RESUME_CONFIG, 1, GuestFault("y"))]
+            )
+        lines = journal.read_text().splitlines(keepends=True)
+        lines[1] = lines[1].replace('"', "'", 1)  # rot the first chunk line
+        journal.write_text("".join(lines))
+        with pytest.warns(CampaignWarning, match="re-executed"):
+            records = load_journal(journal, RESUME_CONFIG)
+        # Never a raw JSONDecodeError: the damaged line is skipped and
+        # the intact one survives.
+        assert list(records) == [1]
+
+    def test_crc_mismatch_is_quarantined_even_when_parseable(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        with JournalWriter(journal, RESUME_CONFIG) as writer:
+            writer.chunk_done(
+                [error_record(RESUME_CONFIG, 0, GuestFault("x"))]
+            )
+            writer.chunk_done(
+                [error_record(RESUME_CONFIG, 1, GuestFault("y"))]
+            )
+        lines = journal.read_text().splitlines(keepends=True)
+        entry = json.loads(lines[1])
+        entry["data"]["records"][0]["seed"] = 12345  # silent record rot
+        lines[1] = json.dumps(entry, sort_keys=True) + "\n"
+        journal.write_text("".join(lines))
+        with pytest.warns(CampaignWarning):
+            records = load_journal(journal, RESUME_CONFIG)
+        # The rotted record is *not* trusted just because it parses.
+        assert list(records) == [1]
 
     def test_journal_rejects_a_different_campaign(self, tmp_path):
         journal = tmp_path / "j.jsonl"
