@@ -25,6 +25,7 @@ from repro.campaign.config import FAULT_MODES, CampaignConfig
 from repro.campaign.errors import HOST_SIDE_KINDS
 from repro.campaign.journal import JournalMismatch
 from repro.campaign.report import write_report
+from repro.campaign.runner import tier_stats_snapshot
 from repro.campaign.scheduler import run_campaign
 
 EXIT_OK = 0
@@ -179,6 +180,21 @@ def _print_summary(report: dict, config: CampaignConfig, elapsed: float,
         f"{summary['diverged']} diverged, {summary['agree']} agreed, "
         f"{summary['inconclusive']} inconclusive{extras}"
     )
+    tier = tier_stats_snapshot()
+    if any(tier.values()):
+        # Serial execution only: worker processes keep their own
+        # tallies, so under --workers > 1 these stay zero and the
+        # line is omitted rather than printed misleadingly.
+        print(
+            f"  tier: {tier['blocks_executed']} block dispatches "
+            f"({tier['blocks_translated']} translated, "
+            f"{tier['blocks_deopts']} deopts), "
+            f"{tier['traces_executed']} trace runs "
+            f"({tier['traces_formed']} formed, "
+            f"{tier['trace_exits']} side exits), "
+            f"{tier['ff_spans']} fast-forward spans "
+            f"({tier['ff_spends']} spends)"
+        )
     coverage = report.get("coverage")
     if coverage is not None:
         trail = " -> ".join(

@@ -117,7 +117,10 @@ def continuous_observation(
     Adapters with a ``prepare`` hook specialise per run and are never
     memoized.
     """
-    from repro.campaign.runner import run_continuous_leg  # deferred: no cycle
+    from repro.campaign.runner import (  # deferred: no cycle
+        _harvest_tier_stats,
+        run_continuous_leg,
+    )
 
     if hasattr(adapter, "prepare"):
         return run_continuous_leg(config, adapter, leg_seed)
@@ -133,6 +136,7 @@ def continuous_observation(
     executor.flash()
     with RunWatchdog(target, config.max_cycles, config.max_wall_s):
         result = executor.run_continuous(duration=config.duration)
+    _harvest_tier_stats(target)
     observation = Observation(
         status=result.status.value,
         faults=len(result.faults),
@@ -360,6 +364,12 @@ class ForkSession:
             # completion) can leave a stop pending past the terminal
             # segment; never let it leak into the next execute().
             self.sim.clear_stop()
+        from repro.campaign.runner import _harvest_tier_stats  # no cycle
+
+        # Snapshot restore zeroes the device's tier counters, so the
+        # counters here are exactly this execute()'s delta — summing
+        # per-execute keeps the process tallies double-count-free.
+        _harvest_tier_stats(self.target)
         observation = Observation(
             status=status.value,
             faults=len(faults),

@@ -43,6 +43,49 @@ from repro.sim.rng import derive_seed
 from repro.testing import make_bench_target, make_fast_target, time_limit
 
 
+#: Process-local tallies of which execution tier served the legs this
+#: process simulated: block translation, superblock traces, and the
+#: closed-form energy fast-forward.  Diagnostic plumbing only — the
+#: snapshot never enters a campaign report (reports are byte-pinned
+#: for identical seeds), and worker processes keep their own tallies,
+#: so under ``--workers > 1`` the parent's counters stay zero.
+_TIER_STATS = {
+    "blocks_translated": 0,
+    "blocks_executed": 0,
+    "blocks_deopts": 0,
+    "traces_formed": 0,
+    "traces_executed": 0,
+    "trace_exits": 0,
+    "ff_spans": 0,
+    "ff_spends": 0,
+}
+
+
+def _harvest_tier_stats(target) -> None:
+    """Fold one finished leg's tier counters into the process tallies."""
+    stats = _TIER_STATS
+    cpu = target.cpu
+    stats["blocks_translated"] += cpu.blocks_translated
+    stats["blocks_executed"] += cpu.blocks_executed
+    stats["blocks_deopts"] += cpu.blocks_deopts
+    stats["traces_formed"] += cpu.traces_formed
+    stats["traces_executed"] += cpu.traces_executed
+    stats["trace_exits"] += cpu.trace_exits
+    stats["ff_spans"] += target.ff_spans
+    stats["ff_spends"] += target.ff_spends
+
+
+def tier_stats_snapshot() -> dict:
+    """A copy of this process's execution-tier tallies."""
+    return dict(_TIER_STATS)
+
+
+def reset_tier_stats() -> None:
+    """Zero the process tallies (between campaigns in one process)."""
+    for key in _TIER_STATS:
+        _TIER_STATS[key] = 0
+
+
 def _observation(result: RunResult, observables: dict) -> Observation:
     detail = result.detail
     return Observation(
@@ -102,6 +145,7 @@ def run_intermittent_leg(
         )
     with RunWatchdog(target, config.max_cycles, config.max_wall_s):
         result = executor.run(duration=config.duration, stop_on_fault=True)
+    _harvest_tier_stats(target)
     observation = _observation(result, adapter.observe(program, executor.api))
     injected = sum(getattr(i, "injections", 0) for i in injectors)
     return observation, recorder.schedule(), injected
@@ -119,6 +163,7 @@ def run_continuous_leg(
     executor.flash()
     with RunWatchdog(target, config.max_cycles, config.max_wall_s):
         result = executor.run_continuous(duration=config.duration)
+    _harvest_tier_stats(target)
     return _observation(result, adapter.observe(program, executor.api))
 
 
@@ -142,6 +187,7 @@ def replay_with_schedule(
     with RunWatchdog(target, config.max_cycles, config.max_wall_s):
         result = executor.run(duration=config.duration, stop_on_fault=True)
     injector.remove()
+    _harvest_tier_stats(target)
     return _observation(result, adapter.observe(program, executor.api))
 
 

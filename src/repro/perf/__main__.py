@@ -116,6 +116,11 @@ def _host_stanza() -> dict:
         "cpu_count": os.cpu_count(),
         "git_revision": _git_revision(),
         "block_cache": os.environ.get("REPRO_NO_BLOCKCACHE", "") in ("", "0"),
+        "superblock": (
+            os.environ.get("REPRO_NO_BLOCKCACHE", "") in ("", "0")
+            and os.environ.get("REPRO_NO_SUPERBLOCK", "") in ("", "0")
+        ),
+        "force_deopt": os.environ.get("REPRO_FORCE_DEOPT", "") not in ("", "0"),
     }
 
 

@@ -13,6 +13,53 @@ import math
 from repro.sim import units
 
 
+def closed_form_step(
+    v: float,
+    dt: float,
+    voc: float,
+    v_inf: float,
+    exp_charge: float,
+    net: float,
+    capacitance: float,
+    max_voltage: float,
+    leak_factor: float | None,
+) -> float:
+    """One analytic RC(+leakage) trajectory step from precomputed constants.
+
+    This is the reference form of the arithmetic the device's fast
+    spend path and closed-form fast-forward span inline
+    (``TargetDevice.execute_cycles``): the Thevenin charge solution
+    ``v_inf + (v - v_inf) * exp(-dt/tau)`` while the open-circuit
+    voltage is above the rail, the constant-net discharge
+    ``v - net*dt/C`` otherwise, branch-chain clamped to
+    ``[0, max_voltage]``, then the leakage decay factor
+    ``exp(-dt/leak_tau)`` under the same clamp.  Expression shapes and
+    operand order are load-bearing: the equivalence tests pin the
+    device's inlined copies against this function bit for bit, which is
+    what lets a whole trace of spends fast-forward without drifting
+    from the single-step trajectory.  ``exp_charge`` and
+    ``leak_factor`` are the caller-memoized exponentials (``None``
+    disables leakage).
+    """
+    if voc > v:
+        new_v = v_inf + (v - v_inf) * exp_charge
+    else:
+        new_v = v - net * dt / capacitance
+    if new_v < 0.0:
+        out = 0.0
+    elif new_v > max_voltage:
+        out = max_voltage
+    else:
+        out = new_v
+    if leak_factor is not None and out > 0.0:
+        out = out * leak_factor
+        if out < 0.0:
+            out = 0.0
+        elif out > max_voltage:
+            out = max_voltage
+    return out
+
+
 class StorageCapacitor:
     """An ideal capacitor with optional self-leakage.
 
@@ -99,6 +146,38 @@ class StorageCapacitor:
         if dt < 0.0:
             raise ValueError(f"dt must be non-negative (got {dt})")
         self.voltage = self._voltage + current_a * dt / self.capacitance
+
+    def closed_form_advance(
+        self, dt: float, voc: float, rs: float, net_current: float
+    ) -> float:
+        """Advance the terminal voltage one closed-form step; returns it.
+
+        Computes the step constants (``tau = rs * C``, the leakage
+        decay) and applies :func:`closed_form_step`.  Analytic
+        screening predictors sketch whole charge/discharge trajectories
+        with this, no simulator required; the device's fast paths run
+        the same arithmetic from memoized constants.
+        """
+        if dt < 0.0:
+            raise ValueError(f"dt must be non-negative (got {dt})")
+        cap = self.capacitance
+        exp_charge = math.exp(-dt / (rs * cap))
+        leak_r = self.leakage_resistance
+        leak_factor = (
+            math.exp(-dt / (leak_r * cap)) if leak_r is not None else None
+        )
+        self._voltage = closed_form_step(
+            self._voltage,
+            dt,
+            voc,
+            voc - net_current * rs,
+            exp_charge,
+            net_current,
+            cap,
+            self.max_voltage,
+            leak_factor,
+        )
+        return self._voltage
 
     def step_leakage(self, dt: float) -> None:
         """Apply self-discharge through ``leakage_resistance`` for ``dt``."""

@@ -1,16 +1,17 @@
-"""Differential ISA conformance for the block translation cache.
+"""Differential ISA conformance for the block and superblock tiers.
 
-Every test here runs the same assembled program twice on freshly built,
-identically seeded simulators — once dispatching through translated
-basic blocks (the production path) and once forced to single-step — and
-requires the two executions to be *bit-identical*: register file,
-Fletcher-16 checksums of every memory region, retired-instruction
-counts, reboot boundaries, simulated clock, capacitor voltage, and
-energy accounting.  Programs are randomly generated from seeds
-(straight-line and branchy shapes), plus directed cases for the two
+Every test here runs the same assembled program on freshly built,
+identically seeded simulators under each execution tier — single-step,
+translated basic blocks, and profile-guided superblock traces with the
+closed-form energy fast-forward — and requires the executions to be
+*bit-identical*: register file, Fletcher-16 checksums of every memory
+region, retired-instruction counts, reboot boundaries, simulated clock,
+capacitor voltage, and energy accounting.  Programs are randomly
+generated from seeds (straight-line and branchy shapes), optionally
+under randomized brown-out schedules, plus directed cases for the
 hardest invalidation/deoptimization scenarios: self-modifying
-FRAM-resident code and brown-outs landing mid-block under an
-intermittent supply.
+FRAM-resident code, brown-outs landing mid-block under an intermittent
+supply, and forced deoptimization of every guard.
 
 What is deliberately *not* compared: per-region read counters.  Block
 translation decodes ahead of execution (and revival fingerprints reread
@@ -20,15 +21,44 @@ while every architecturally visible bit stays equal.
 
 from __future__ import annotations
 
+import math
+import os
 import random
 
 import pytest
 
 from repro import RunStatus, Simulator, TargetDevice, make_wisp_power_system
+from repro.campaign.faults import ScheduledBrownouts
 from repro.mcu.assembler import assemble
+from repro.power.capacitor import StorageCapacitor, closed_form_step
 from repro.runtime.isa_executor import IsaIntermittentExecutor
+from repro.testing import make_bench_target
 
 pytestmark = pytest.mark.blockcache
+
+#: The three dispatch tiers, fastest first (see docs/PERF.md).
+MODES = ("trace", "block", "step")
+
+# The differential (bit-identity) assertions run under *every* tier
+# environment — that is the point of the suite — but the non-vacuity
+# assertions ("the tier under test really engaged") only hold when the
+# environment has not disabled that tier.
+_BLOCKCACHE_ON = os.environ.get("REPRO_NO_BLOCKCACHE", "") in ("", "0")
+_SUPERBLOCK_ON = _BLOCKCACHE_ON and (
+    os.environ.get("REPRO_NO_SUPERBLOCK", "") in ("", "0")
+)
+_DEOPT_FORCED = os.environ.get("REPRO_FORCE_DEOPT", "") not in ("", "0")
+_BLOCKS_ENGAGE = _BLOCKCACHE_ON and not _DEOPT_FORCED
+_TRACES_ENGAGE = _SUPERBLOCK_ON and not _DEOPT_FORCED
+
+needs_guards = pytest.mark.skipif(
+    not _BLOCKS_ENGAGE,
+    reason="block guards disabled by REPRO_NO_BLOCKCACHE/REPRO_FORCE_DEOPT",
+)
+needs_traces = pytest.mark.skipif(
+    not _TRACES_ENGAGE,
+    reason="trace tier disabled by environment",
+)
 
 
 def fletcher16(data: bytes) -> int:
@@ -40,17 +70,40 @@ def fletcher16(data: bytes) -> int:
     return (s2 << 8) | s1
 
 
-def _execute(source, *, block_mode, seed=1234, duration=1.5,
-             distance=1.6, fading_sigma=0.0):
-    """Assemble and run ``source`` intermittently; return (result, device, sim)."""
+def _execute(source, *, mode="trace", seed=1234, duration=1.5,
+             distance=1.6, fading_sigma=0.0, schedule=None, bench=False):
+    """Assemble and run ``source`` intermittently under one dispatch tier.
+
+    ``mode`` picks the tier: ``"step"`` single-steps every instruction,
+    ``"block"`` dispatches translated blocks with the trace tier off,
+    and ``"trace"`` is the full production path (superblock traces plus
+    the closed-form fast-forward).  ``schedule`` optionally installs a
+    :class:`ScheduledBrownouts` injector (ops per boot); ``bench``
+    swaps the fading RF supply for the bench supply that never browns
+    out organically, so the schedule is the only fault source.
+    Returns ``(result, device, sim)``.
+    """
     sim = Simulator(seed=seed)
-    power = make_wisp_power_system(
-        sim, distance_m=distance, fading_sigma=fading_sigma
+    if bench:
+        device = make_bench_target(sim)
+    else:
+        power = make_wisp_power_system(
+            sim, distance_m=distance, fading_sigma=fading_sigma
+        )
+        device = TargetDevice(sim, power)
+    if mode == "step":
+        device.cpu.block_cache_enabled = False
+    elif mode == "block":
+        device.cpu.trace_tier_enabled = False
+    elif mode != "trace":
+        raise ValueError(f"unknown mode {mode!r}")
+    injector = (
+        ScheduledBrownouts(device, list(schedule)) if schedule else None
     )
-    device = TargetDevice(sim, power)
-    device.cpu.block_cache_enabled = block_mode
     executor = IsaIntermittentExecutor(sim, device, assemble(source))
     result = executor.run(duration=duration)
+    if injector is not None:
+        injector.remove()
     return result, device, sim
 
 
@@ -77,11 +130,17 @@ def _observable_state(result, device, sim):
 
 
 def _assert_differential(source, **kwargs):
-    """Run both modes and require bit-identical observable state."""
-    blocked = _execute(source, block_mode=True, **kwargs)
-    stepped = _execute(source, block_mode=False, **kwargs)
-    assert _observable_state(*blocked) == _observable_state(*stepped)
-    return blocked, stepped
+    """Run all three tiers and require bit-identical observable state.
+
+    Returns ``{mode: (result, device, sim)}`` so callers can make the
+    differential non-vacuous (assert the tier under test actually
+    engaged).
+    """
+    runs = {mode: _execute(source, mode=mode, **kwargs) for mode in MODES}
+    states = {mode: _observable_state(*run) for mode, run in runs.items()}
+    assert states["trace"] == states["step"], "trace tier diverged"
+    assert states["block"] == states["step"], "block tier diverged"
+    return runs
 
 
 # -- random program generation ---------------------------------------------
@@ -157,25 +216,29 @@ skip:   add r7, r5
 def test_random_straightline_differential(seed):
     rng = random.Random(seed)
     source = _random_straightline(rng, length=rng.randrange(20, 60))
-    (blocked_result, blocked_device, _), _ = _assert_differential(
-        source, seed=1000 + seed
-    )
+    runs = _assert_differential(source, seed=1000 + seed)
+    blocked_result, blocked_device, _ = runs["block"]
     assert blocked_result.status is RunStatus.COMPLETED
     # The fast path genuinely engaged: translation and block dispatch
     # both happened (the differential would pass vacuously otherwise).
-    assert blocked_device.cpu.blocks_translated > 0
-    assert blocked_device.cpu.blocks_executed > 0
+    if _BLOCKS_ENGAGE:
+        assert blocked_device.cpu.blocks_translated > 0
+        assert blocked_device.cpu.blocks_executed > 0
 
 
 @pytest.mark.parametrize("seed", [2, 11, 31, 127, 8191])
 def test_random_branchy_differential(seed):
     rng = random.Random(seed)
     source = _random_branchy(rng, iterations=rng.randrange(40, 160))
-    (blocked_result, blocked_device, _), (stepped_result, stepped_device, _) = (
-        _assert_differential(source, seed=2000 + seed, duration=2.5)
-    )
-    assert blocked_device.cpu.blocks_executed > 0
-    # Single-step mode must never have touched the translator.
+    runs = _assert_differential(source, seed=2000 + seed, duration=2.5)
+    _, blocked_device, _ = runs["block"]
+    _, stepped_device, _ = runs["step"]
+    if _BLOCKS_ENGAGE:
+        assert blocked_device.cpu.blocks_executed > 0
+    # The block-only tier must never have formed a trace, and
+    # single-step mode must never have touched the translator.
+    assert blocked_device.cpu.traces_formed == 0
+    assert blocked_device.cpu.traces_executed == 0
     assert stepped_device.cpu.blocks_translated == 0
     assert stepped_device.cpu.blocks_executed == 0
 
@@ -186,13 +249,22 @@ def test_mid_block_brownout_differential():
     lands on, reboot for reboot."""
     rng = random.Random(5)
     source = _random_branchy(rng, iterations=6000)
-    (blocked_result, blocked_device, _), _ = _assert_differential(
+    runs = _assert_differential(
         source, seed=77, duration=1.0, distance=2.4, fading_sigma=1.5
     )
+    blocked_result, blocked_device, _ = runs["block"]
     # The scenario is only meaningful if power actually failed mid-run
     # and the near-brown-out guard forced deoptimizations.
     assert blocked_result.reboots > 0
-    assert blocked_device.cpu.blocks_deopts > 0
+    if _BLOCKCACHE_ON:
+        assert blocked_device.cpu.blocks_deopts > 0
+    # The full production tier additionally ran traces and fast-forward
+    # spans through the same brown-outs without drifting a bit.
+    if _TRACES_ENGAGE:
+        traced_device = runs["trace"][1]
+        assert traced_device.cpu.traces_executed > 0
+        assert traced_device.ff_spans > 0
+        assert traced_device.ff_spends > 0
 
 
 SELF_MODIFYING_SOURCE = """
@@ -212,20 +284,19 @@ start:  mov #7, r4
 
 
 def test_self_modifying_code_differential():
-    (blocked_result, blocked_device, _), _ = _assert_differential(
-        SELF_MODIFYING_SOURCE, seed=31
-    )
+    runs = _assert_differential(SELF_MODIFYING_SOURCE, seed=31)
+    blocked_result, blocked_device, _ = runs["block"]
     assert blocked_result.status is RunStatus.COMPLETED
-    # The patch took effect on the second pass in *both* modes: stale
+    # The patch took effect on the second pass in *all* modes: stale
     # translations would have left r4 at the original immediate.
     assert blocked_device.cpu.registers[4] == 99
 
 
 def test_forced_single_step_leaves_counters_dark():
     """block_cache_enabled=False is a true kill switch: no translation,
-    no block dispatch, no deopt accounting."""
+    no block dispatch, no deopt accounting, no traces, no spans."""
     _, device, _ = _execute(
-        _random_straightline(random.Random(3), 25), block_mode=False, seed=3
+        _random_straightline(random.Random(3), 25), mode="step", seed=3
     )
     cpu = device.cpu
     assert (cpu.blocks_translated, cpu.blocks_executed, cpu.blocks_deopts) == (
@@ -233,3 +304,293 @@ def test_forced_single_step_leaves_counters_dark():
         0,
         0,
     )
+    assert (cpu.traces_formed, cpu.traces_executed, cpu.trace_exits) == (
+        0,
+        0,
+        0,
+    )
+    assert (device.ff_spans, device.ff_spends) == (0, 0)
+
+
+# -- random fault schedules across all three tiers --------------------------
+
+
+@pytest.mark.parametrize("seed", [3, 17, 59])
+def test_random_faulted_schedule_differential(seed):
+    """Random program + random brown-out schedule, three-way identical.
+
+    The bench supply never browns out organically, so the injected
+    schedule is the only fault source — every reboot boundary, register,
+    memory word, clock tick, and capacitor bit must agree across
+    single-step, block, and trace dispatch.  The injector's post-work
+    hook keeps traces on the per-spend path (mode 1), which is exactly
+    the configuration campaign legs run in.
+    """
+    rng = random.Random(seed)
+    source = _random_branchy(rng, iterations=rng.randrange(200, 400))
+    schedule = [rng.randrange(40, 400) for _ in range(rng.randrange(2, 8))]
+    runs = _assert_differential(
+        source, seed=4000 + seed, duration=0.5, bench=True, schedule=schedule
+    )
+    traced_result, traced_device, _ = runs["trace"]
+    # Faults really fired and the trace tier really served the run.
+    assert traced_result.reboots > 0
+    if _TRACES_ENGAGE:
+        assert traced_device.cpu.traces_formed > 0
+        assert traced_device.cpu.traces_executed > 0
+    # The injector hook must have pinned admissions to the per-spend
+    # path: a fast-forward span would have hidden spends from it.
+    assert traced_device.ff_spans == 0
+
+
+@pytest.mark.parametrize("seed", [13, 43])
+def test_random_faulted_organic_differential(seed):
+    """Random schedule *plus* organic fading brown-outs, three-way."""
+    rng = random.Random(seed)
+    source = _random_branchy(rng, iterations=5000)
+    schedule = [rng.randrange(30, 200) for _ in range(rng.randrange(1, 5))]
+    runs = _assert_differential(
+        source, seed=5000 + seed, duration=0.8, distance=2.2,
+        fading_sigma=1.5, schedule=schedule,
+    )
+    traced_result, traced_device, _ = runs["trace"]
+    assert traced_result.reboots > 0
+    if _BLOCKS_ENGAGE:
+        assert traced_device.cpu.blocks_executed > 0
+
+
+# -- directed guard edge cases (src/repro/mcu/device.py block_guard) --------
+
+
+HOT_LOOP_SOURCE = """
+        .org 0xA000
+start:  mov #0, r4
+outer:  mov #30000, r5
+loop:   add #3, r4
+        dec r5
+        jnz loop
+        jmp outer
+"""
+
+
+def _warm_bench_device(seed=7, leakage_resistance=None, steps=200):
+    """A bench-supplied device with a live spend window and hot blocks."""
+    sim = Simulator(seed=seed)
+    device = make_bench_target(sim)
+    if leakage_resistance is not None:
+        device.power.capacitor.leakage_resistance = leakage_resistance
+        device.invalidate_energy_window()
+    device.load_program(assemble(HOT_LOOP_SOURCE))
+    for _ in range(steps):
+        device.cpu.step_block()
+    assert device._spend_window is not None
+    return sim, device
+
+
+def _first_refusal(device, lo=1, hi=1 << 24):
+    """Bisect the smallest worst_cycles block_guard refuses."""
+    assert device.block_guard(lo)
+    assert not device.block_guard(hi)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if device.block_guard(mid):
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+@needs_guards
+def test_block_guard_refuses_earlier_with_leakage():
+    """The droop bound must include the leakage term when present.
+
+    Identical setups except for the capacitor's self-discharge path:
+    the leaky device's worst-case droop crosses the comparator floor at
+    a strictly smaller cycle span, and at exactly that span the
+    leak-free device still admits the block — so the refusal is
+    attributable to the leakage term, not the base net-load droop.
+    """
+    _, clean = _warm_bench_device(leakage_resistance=None)
+    _, leaky = _warm_bench_device(leakage_resistance=2e5)
+    assert leaky._spend_window.leak_tau is not None
+    assert clean._spend_window.leak_tau is None
+    clean_refusal = _first_refusal(clean)
+    leaky_refusal = _first_refusal(leaky)
+    assert leaky_refusal < clean_refusal
+    assert clean.block_guard(leaky_refusal)
+
+
+@needs_guards
+def test_block_guard_stop_after_exactly_on_boundary():
+    """A deadline landing exactly on the block's end must force deopt.
+
+    The guard computes ``t1 = now + worst_cycles * cycle_time`` with
+    the same expression used here, so the comparison is exact: a span
+    ending *at* the deadline is refused (``t1 >= stop``), one cycle of
+    headroom re-admits it.
+    """
+    sim, device = _warm_bench_device()
+    cycles = 100
+    assert device.block_guard(cycles)
+    boundary = sim._now + cycles * device._cycle_time
+    # Set the private field: the public setter deliberately drops the
+    # spend window (deadline changes are executor run boundaries), and
+    # this test needs the window live to isolate the deadline check.
+    device._stop_after = boundary
+    assert not device.block_guard(cycles)
+    device._stop_after = sim._now + (cycles + 1) * device._cycle_time
+    assert device.block_guard(cycles)
+    device._stop_after = None
+
+
+@needs_guards
+def test_block_guard_event_one_cycle_inside_span():
+    """A queued sim event inside the span must force deopt."""
+    sim, device = _warm_bench_device()
+    cycles = 1000
+    assert device.block_guard(cycles)
+    # One cycle *inside* the span: due strictly before the block ends.
+    event_time = sim._now + (cycles - 1) * device._cycle_time
+    sim.call_at(event_time, lambda: None)
+    assert not device.block_guard(cycles)
+    # A span that completes before the event is due stays admitted
+    # (three cycles of headroom so float rounding cannot flip it).
+    assert device.block_guard(cycles - 4)
+
+
+@needs_traces
+def test_trace_guard_modes():
+    """trace_guard: 0 = refuse, 1 = per-spend path, 2 = span open."""
+    _, device = _warm_bench_device()
+    # No hooks, plenty of energy: a span opens and is accounted.
+    spans_before = device.ff_spans
+    assert device.trace_guard(500) == 2
+    assert device._span_cycles == 500
+    assert device.ff_spans == spans_before + 1
+    # A nested admission while a span is open stays per-spend.
+    assert device.trace_guard(100) == 1
+    device._span_end()
+    assert device._span_cycles == 0
+    # Post-work hooks must observe every spend: per-spend path.
+    device.post_work_hooks.append(lambda: None)
+    assert device.trace_guard(500) == 1
+    device.post_work_hooks.clear()
+    # A refused block guard refuses the trace outright.
+    assert device.trace_guard(1 << 24) == 0
+
+
+def test_forced_deopt_differential():
+    """force_deopt defeats every guard yet changes no observable bit."""
+    source = _random_branchy(random.Random(9), iterations=2500)
+
+    def run(force):
+        sim = Simulator(seed=66)
+        power = make_wisp_power_system(sim, distance_m=2.0, fading_sigma=1.0)
+        device = TargetDevice(sim, power)
+        device.force_deopt = force
+        executor = IsaIntermittentExecutor(sim, device, assemble(source))
+        result = executor.run(duration=0.8)
+        return result, device, sim
+
+    forced = run(True)
+    normal = run(False)
+    assert _observable_state(*forced) == _observable_state(*normal)
+    forced_device = forced[1]
+    # Every block admission was refused: translation still happens (and
+    # is charged as a deopt), but no trace ever runs and no span opens.
+    if _BLOCKCACHE_ON:
+        assert forced_device.cpu.blocks_deopts > 0
+    assert forced_device.cpu.traces_executed == 0
+    assert forced_device.ff_spans == 0
+    # The unforced run really used the fast tiers, so the comparison
+    # is not vacuous.
+    if _BLOCKS_ENGAGE:
+        assert normal[1].cpu.blocks_executed > 0
+
+
+@pytest.mark.skipif(
+    not _BLOCKCACHE_ON, reason="block cache disabled by environment"
+)
+def test_superblock_kill_switch_env(monkeypatch):
+    """REPRO_NO_SUPERBLOCK=1 disables only the trace tier."""
+    monkeypatch.setenv("REPRO_NO_SUPERBLOCK", "1")
+    sim = Simulator(seed=1)
+    device = make_bench_target(sim)
+    assert device.cpu.block_cache_enabled
+    assert not device.cpu.trace_tier_enabled
+
+
+def test_force_deopt_env(monkeypatch):
+    """REPRO_FORCE_DEOPT=1 arms force_deopt at construction."""
+    monkeypatch.setenv("REPRO_FORCE_DEOPT", "1")
+    sim = Simulator(seed=1)
+    device = make_bench_target(sim)
+    assert device.force_deopt
+    assert not device.block_guard(1)
+
+
+# -- closed-form step: the pinned reference arithmetic ----------------------
+
+
+@pytest.mark.skipif(
+    not _BLOCKCACHE_ON, reason="spend window disabled by environment"
+)
+def test_closed_form_step_matches_device_fast_path():
+    """One spend through execute_cycles lands exactly on the closed form.
+
+    The device's fast path inlines :func:`closed_form_step`'s
+    arithmetic from memoized constants; this pins the two against each
+    other bit for bit, charge branch and leakage factor included.
+    """
+    for leak in (None, 2e5):
+        _, device = _warm_bench_device(leakage_resistance=leak)
+        fw = device._spend_window
+        cycles = 137
+        dt = cycles * device._cycle_time
+        exp_charge = math.exp(-dt / fw.tau)
+        leak_factor = (
+            math.exp(-dt / fw.leak_tau) if fw.leak_tau is not None else None
+        )
+        v0 = device.power.capacitor._voltage
+        expected = closed_form_step(
+            v0, dt, fw.voc, fw.v_inf, exp_charge, fw.net,
+            fw.cap, fw.vmax, leak_factor,
+        )
+        device.execute_cycles(cycles)
+        assert device.power.capacitor._voltage == expected
+
+
+@needs_traces
+def test_closed_form_step_matches_span_fast_forward():
+    """The open-span branch commits the identical closed-form voltage."""
+    sim, device = _warm_bench_device()
+    fw = device._spend_window
+    cycles = 64
+    assert device.trace_guard(cycles) == 2
+    dt = cycles * device._cycle_time
+    expected = closed_form_step(
+        device.power.capacitor._voltage, dt, fw.voc, fw.v_inf,
+        math.exp(-dt / fw.tau), fw.net, fw.cap, fw.vmax, None,
+    )
+    spends_before = device.ff_spends
+    now_before = sim._now
+    device.execute_cycles(cycles)
+    assert device.power.capacitor._voltage == expected
+    assert device.ff_spends == spends_before + 1
+    assert device._span_cycles == 0  # the span was consumed exactly
+    assert sim._now == now_before + dt
+    device._span_end()
+
+
+def test_closed_form_advance_matches_reference():
+    """StorageCapacitor.closed_form_advance == closed_form_step."""
+    cap = StorageCapacitor(
+        47e-6, voltage=2.0, max_voltage=3.3, leakage_resistance=1e6
+    )
+    dt, voc, rs, net = 1e-3, 3.3, 660.0, 1.2e-3
+    expected = closed_form_step(
+        2.0, dt, voc, voc - net * rs, math.exp(-dt / (rs * 47e-6)),
+        net, 47e-6, 3.3, math.exp(-dt / (1e6 * 47e-6)),
+    )
+    assert cap.closed_form_advance(dt, voc, rs, net) == expected
+    assert cap.voltage == expected
