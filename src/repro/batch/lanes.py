@@ -1,0 +1,223 @@
+"""Struct-of-arrays packing of device snapshots across a lane axis.
+
+A :class:`LaneBuffer` holds N campaign legs' device states side by side
+as NumPy arrays — CPU registers as an ``(N, 16)`` integer matrix, each
+memory region as an ``(N, size)`` byte matrix, the capacitor voltage and
+simulation clock as ``(N,)`` float vectors, and every RNG stream's
+Mersenne cursor as an ``(N, 625)`` word matrix — with the host-side
+remainder of each :class:`~repro.snapshot.DeviceSnapshot` (event queues,
+peripheral tallies, source attributes) carried per lane by reference.
+
+Two constructors cover the lane engine's uses: :meth:`from_snapshots`
+packs distinct per-lane snapshots, and :meth:`broadcast` spreads one
+boundary snapshot across the whole lane axis as zero-copy views — the
+"seed all lanes in one restore" path a fork prefix wants.  ``unpack``
+rebuilds a lane's :class:`~repro.snapshot.DeviceSnapshot`, carrying the
+*source* snapshot's integrity checksum, so the very next
+:func:`repro.snapshot.restore` verifies the NumPy round trip bit for bit
+before the device is touched.
+
+:meth:`advance_energy` is the lane axis of the closed-form energy tier:
+one analytic RC(+leakage) step applied to every lane's capacitor voltage
+at once, with one ``math.exp`` per spend serving the whole batch (see
+:func:`repro.power.capacitor.closed_form_step_lanes`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.power.capacitor import closed_form_step_lanes
+from repro.snapshot import PAGE_SIZE, DeviceSnapshot
+
+#: Snapshot slots vectorized into arrays; every other slot is carried
+#: per lane by reference from the source snapshot.
+_PACKED_SLOTS = frozenset(
+    {"cpu_registers", "memory_pages", "cap_voltage", "sim_now", "rng_states"}
+)
+
+
+def _region_row(pages: tuple[bytes, ...]) -> np.ndarray:
+    return np.frombuffer(b"".join(pages), dtype=np.uint8)
+
+
+def _row_pages(row: np.ndarray) -> tuple[bytes, ...]:
+    data = row.tobytes()
+    return tuple(
+        data[offset : offset + PAGE_SIZE]
+        for offset in range(0, len(data), PAGE_SIZE)
+    )
+
+
+class LaneBuffer:
+    """N device snapshots packed struct-of-arrays along a lane axis."""
+
+    def __init__(
+        self,
+        sources: list[DeviceSnapshot],
+        registers: np.ndarray,
+        regions: dict[str, np.ndarray],
+        vcap: np.ndarray,
+        clock: np.ndarray,
+        rng_words: dict[str, np.ndarray],
+        rng_meta: list[dict],
+    ) -> None:
+        self._sources = sources
+        self.registers = registers  # (N, R) int64
+        self.regions = regions  # name -> (N, size) uint8
+        self.vcap = vcap  # (N,) float64
+        self.clock = clock  # (N,) float64
+        self._rng_words = rng_words  # name -> (N, 625) uint32
+        self._rng_meta = rng_meta  # per lane: name -> (version, gauss)
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_snapshots(
+        cls, snapshots: Iterable[DeviceSnapshot]
+    ) -> "LaneBuffer":
+        """Pack distinct per-lane snapshots (same device topology)."""
+        sources = list(snapshots)
+        if not sources:
+            raise ValueError("cannot pack zero lanes")
+        names = set(sources[0].memory_pages)
+        streams = set(sources[0].rng_states)
+        for snap in sources[1:]:
+            if set(snap.memory_pages) != names or set(snap.rng_states) != streams:
+                raise ValueError(
+                    "lanes must share a device topology (regions and "
+                    "RNG streams)"
+                )
+        registers = np.array(
+            [snap.cpu_registers for snap in sources], dtype=np.int64
+        )
+        regions = {
+            name: np.stack(
+                [_region_row(snap.memory_pages[name]) for snap in sources]
+            )
+            for name in sorted(names)
+        }
+        vcap = np.array([snap.cap_voltage for snap in sources], dtype=np.float64)
+        clock = np.array([snap.sim_now for snap in sources], dtype=np.float64)
+        rng_words = {
+            name: np.array(
+                [snap.rng_states[name][1] for snap in sources], dtype=np.uint32
+            )
+            for name in sorted(streams)
+        }
+        rng_meta = [
+            {
+                name: (state[0], state[2])
+                for name, state in snap.rng_states.items()
+            }
+            for snap in sources
+        ]
+        return cls(sources, registers, regions, vcap, clock, rng_words, rng_meta)
+
+    @classmethod
+    def broadcast(cls, snap: DeviceSnapshot, lanes: int) -> "LaneBuffer":
+        """Spread one snapshot across ``lanes`` lanes as zero-copy views."""
+        if lanes < 1:
+            raise ValueError(f"need at least one lane (got {lanes})")
+        registers = np.broadcast_to(
+            np.array(snap.cpu_registers, dtype=np.int64),
+            (lanes, len(snap.cpu_registers)),
+        )
+        regions = {}
+        for name in sorted(snap.memory_pages):
+            row = _region_row(snap.memory_pages[name])
+            regions[name] = np.broadcast_to(row, (lanes, row.size))
+        vcap = np.broadcast_to(
+            np.float64(snap.cap_voltage), (lanes,)
+        )
+        clock = np.broadcast_to(np.float64(snap.sim_now), (lanes,))
+        rng_words = {}
+        for name in sorted(snap.rng_states):
+            words = np.array(snap.rng_states[name][1], dtype=np.uint32)
+            rng_words[name] = np.broadcast_to(words, (lanes, words.size))
+        meta = {
+            name: (state[0], state[2])
+            for name, state in snap.rng_states.items()
+        }
+        return cls(
+            [snap] * lanes, registers, regions, vcap, clock, rng_words,
+            [meta] * lanes,
+        )
+
+    # -- unpacking ---------------------------------------------------------
+    def unpack(self, lane: int) -> DeviceSnapshot:
+        """Rebuild lane ``lane``'s :class:`DeviceSnapshot` from the arrays.
+
+        The packed slots are reconstructed from the lane's rows; every
+        other slot — including ``integrity`` — is copied from the lane's
+        source snapshot, so restoring the result re-verifies the whole
+        pack/unpack round trip against the source checksum.
+        """
+        source = self._sources[lane]
+        snap = DeviceSnapshot()
+        for slot in DeviceSnapshot.__slots__:
+            if slot not in _PACKED_SLOTS:
+                setattr(snap, slot, getattr(source, slot))
+        snap.cpu_registers = tuple(int(r) for r in self.registers[lane])
+        snap.memory_pages = {
+            name: _row_pages(rows[lane]) for name, rows in self.regions.items()
+        }
+        snap.cap_voltage = float(self.vcap[lane])
+        snap.sim_now = float(self.clock[lane])
+        snap.rng_states = {
+            name: (
+                self._rng_meta[lane][name][0],
+                tuple(int(w) for w in self._rng_words[name][lane]),
+                self._rng_meta[lane][name][1],
+            )
+            for name in self._rng_words
+        }
+        return snap
+
+    # -- the vectorized energy step ---------------------------------------
+    def advance_energy(
+        self,
+        dt: float,
+        voc: float,
+        rs: float,
+        net_current: float,
+        capacitance: float,
+        max_voltage: float,
+        leakage_resistance: float | None = None,
+    ) -> np.ndarray:
+        """One closed-form RC(+leakage) step for every lane's voltage.
+
+        The vector twin of
+        :meth:`repro.power.capacitor.StorageCapacitor.closed_form_advance`:
+        the step exponentials are computed once with ``math.exp`` (the
+        scalar tier's rounding) and the whole lane axis is advanced in a
+        single :func:`closed_form_step_lanes` evaluation — one
+        exponential per spend for the batch instead of one per leg.
+        Returns the new ``(N,)`` voltage vector, which also replaces
+        :attr:`vcap`.
+        """
+        if dt < 0.0:
+            raise ValueError(f"dt must be non-negative (got {dt})")
+        exp_charge = math.exp(-dt / (rs * capacitance))
+        leak_factor = (
+            math.exp(-dt / (leakage_resistance * capacitance))
+            if leakage_resistance is not None
+            else None
+        )
+        self.vcap = closed_form_step_lanes(
+            self.vcap,
+            dt,
+            voc,
+            voc - net_current * rs,
+            exp_charge,
+            net_current,
+            capacitance,
+            max_voltage,
+            leak_factor,
+        )
+        return self.vcap

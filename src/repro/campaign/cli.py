@@ -25,7 +25,6 @@ from repro.campaign.config import FAULT_MODES, CampaignConfig
 from repro.campaign.errors import HOST_SIDE_KINDS
 from repro.campaign.journal import JournalMismatch
 from repro.campaign.report import write_report
-from repro.campaign.runner import tier_stats_snapshot
 from repro.campaign.scheduler import run_campaign
 
 EXIT_OK = 0
@@ -125,6 +124,16 @@ def build_parser() -> argparse.ArgumentParser:
                           action="store_false",
                           help="simulate every run from reset (the legacy "
                                "execution path)")
+    batch = parser.add_mutually_exclusive_group()
+    batch.add_argument("--batch", dest="batch", action="store_true",
+                       default=True,
+                       help="pack embarrassingly-similar legs into NumPy "
+                            "lanes and step them lock-step (default; "
+                            "reports are byte-identical either way)")
+    batch.add_argument("--no-batch", dest="batch", action="store_false",
+                       help="run every leg through the scalar path "
+                            "(also forced by REPRO_NO_BATCH=1 or a "
+                            "missing numpy)")
     parser.add_argument("--out", default="campaign_report.json",
                         help="report path (default: %(default)s)")
     parser.add_argument("--quiet", action="store_true",
@@ -166,7 +175,7 @@ def config_from_args(args: argparse.Namespace) -> CampaignConfig:
 
 
 def _print_summary(report: dict, config: CampaignConfig, elapsed: float,
-                   workers: int) -> None:
+                   workers: int, tier: dict | None = None) -> None:
     summary = report["summary"]
     variant = "protected" if config.protect else "naive"
     extras = ""
@@ -180,11 +189,10 @@ def _print_summary(report: dict, config: CampaignConfig, elapsed: float,
         f"{summary['diverged']} diverged, {summary['agree']} agreed, "
         f"{summary['inconclusive']} inconclusive{extras}"
     )
-    tier = tier_stats_snapshot()
-    if any(tier.values()):
-        # Serial execution only: worker processes keep their own
-        # tallies, so under --workers > 1 these stay zero and the
-        # line is omitted rather than printed misleadingly.
+    # Workers return per-chunk tier/lane deltas that the scheduler folds
+    # into this sink, so the tallies are complete under --workers > 1
+    # too.  They stay console-only: never part of the JSON report.
+    if tier and any(tier.values()):
         print(
             f"  tier: {tier['blocks_executed']} block dispatches "
             f"({tier['blocks_translated']} translated, "
@@ -195,6 +203,12 @@ def _print_summary(report: dict, config: CampaignConfig, elapsed: float,
             f"{tier['ff_spans']} fast-forward spans "
             f"({tier['ff_spends']} spends)"
         )
+        if tier.get("lanes_packed"):
+            print(
+                f"  lanes: {tier['lanes_packed']} packed "
+                f"({tier['lanes_peeled']} peeled, "
+                f"{tier['batch_spans']} batch spans)"
+            )
     coverage = report.get("coverage")
     if coverage is not None:
         trail = " -> ".join(
@@ -256,6 +270,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"\r  {done}/{total} runs", end="", file=sys.stderr, flush=True)
 
     started = time.perf_counter()
+    tier_stats: dict = {}
     try:
         report = run_campaign(
             config,
@@ -264,8 +279,10 @@ def main(argv: list[str] | None = None) -> int:
             resume_from=args.resume,
             fail_fast=args.fail_fast,
             snapshot=args.snapshot,
+            batch=args.batch,
             corpus_path=args.corpus,
             journal_fsync=args.fsync_journal,
+            stats=tier_stats,
         )
     except JournalMismatch as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -278,7 +295,7 @@ def main(argv: list[str] | None = None) -> int:
         print(file=sys.stderr)
     path = write_report(args.out, report)
 
-    _print_summary(report, config, elapsed, config.workers)
+    _print_summary(report, config, elapsed, config.workers, tier_stats)
     print(f"report: {path}")
 
     partial = report.get("partial")

@@ -408,14 +408,18 @@ def _group_key(plan: FaultPlan):
     return None
 
 
-def execute_chunk(config: CampaignConfig, indices: list[int]) -> list[dict]:
+def execute_chunk(
+    config: CampaignConfig, indices: list[int], batch: bool = True
+) -> list[dict]:
     """Execute a chunk of runs, forking shared injection prefixes.
 
     The snapshot-mode worker entry point.  Runs whose plans are
-    fork-eligible and share a group key execute through one
-    :class:`ForkSession`; everything else (and every fallback) goes
-    through the legacy supervised runner, so the records are
-    byte-identical either way.
+    fork-eligible and share a group key execute through the lane engine
+    (``batch`` on, NumPy present) or one :class:`ForkSession`;
+    everything else (and every fallback) goes through the legacy
+    supervised runner, so the records are byte-identical either way.
+    ``batch`` is an execution-only switch like ``snapshot`` — it never
+    enters the config or the report.
     """
     from repro.campaign.runner import execute_run_safe  # deferred: no cycle
 
@@ -433,13 +437,25 @@ def execute_chunk(config: CampaignConfig, indices: list[int]) -> list[dict]:
         groups.setdefault(
             key if key is not None else ("solo", index), []
         ).append((index, run_seed, plan))
+    use_batch = batch
+    if use_batch:
+        from repro.batch import batching_enabled
+
+        use_batch = batching_enabled()
     records: dict[int, dict] = {}
     for members in groups.values():
         if len(members) < 2:
             for index, _, _ in members:
                 records[index] = execute_run_safe(config, index, snapshot=True)
-        else:
-            records.update(_execute_group(config, adapter, members))
+            continue
+        if use_batch:
+            from repro.batch.engine import execute_batch_group  # needs numpy
+
+            batched = execute_batch_group(config, adapter, members)
+            if batched is not None:
+                records.update(batched)
+                continue
+        records.update(_execute_group(config, adapter, members))
     return [records[index] for index in indices]
 
 

@@ -499,26 +499,35 @@ def execute_fuzz_run_safe(
 
 # -- the fuzz worker ---------------------------------------------------------
 def _fuzz_chunk_worker(
-    config_dict: dict, jobs: list[dict], snapshot: bool = False
-) -> list[dict]:
+    config_dict: dict, jobs: list[dict], snapshot: bool = False,
+    batch: bool = True,
+) -> tuple[list[dict], dict]:
     """Worker entry point for fuzz chunks (picklable, module-level).
 
     With snapshots on, jobs sharing a stimulus execute through one
     :class:`~repro.campaign.forking.ForkSession` — every fuzz plan is
     op-index with a pinned environment, so shared schedule prefixes
-    fork from the same snapshot chain.
+    fork from the same snapshot chain.  ``batch`` is accepted for
+    supervisor signature parity but unused: fuzz groups fork a
+    *coverage-instrumented* target whose per-block recorder is exactly
+    the per-lane state the lock-step lane engine cannot share, so they
+    stay on the ForkSession path.  Returns ``(records, tier_delta)``
+    like :func:`repro.campaign.scheduler._chunk_worker`.
     """
+    from repro.campaign.runner import tier_stats_delta, tier_stats_snapshot
+
     config = CampaignConfig.from_dict(config_dict)
+    before = tier_stats_snapshot()
     if not snapshot:
         return [
             execute_fuzz_run_safe(config, job, snapshot=False) for job in jobs
-        ]
+        ], tier_stats_delta(before)
     adapter = get_adapter(config.app)
     if hasattr(adapter, "prepare"):
         # Per-run specialisation: nothing is shareable.
         return [
             execute_fuzz_run_safe(config, job, snapshot=True) for job in jobs
-        ]
+        ], tier_stats_delta(before)
     groups: dict[str | None, list[dict]] = {}
     for job in jobs:
         groups.setdefault(job["stimulus"], []).append(job)
@@ -531,7 +540,7 @@ def _fuzz_chunk_worker(
                 )
         else:
             records.update(_execute_fuzz_group(config, adapter, members))
-    return [records[job["index"]] for job in jobs]
+    return [records[job["index"]] for job in jobs], tier_stats_delta(before)
 
 
 def _execute_fuzz_group(
@@ -714,8 +723,10 @@ def run_fuzz_campaign(
     resume_from: str | None = None,
     fail_fast: bool = False,
     snapshot: bool = True,
+    batch: bool = True,
     corpus_path: str | None = None,
     journal_fsync: bool = False,
+    stats: dict | None = None,
 ) -> dict:
     """Run a coverage-guided fuzz campaign and return its report.
 
@@ -731,7 +742,12 @@ def run_fuzz_campaign(
     the final corpus when the campaign completes.  Journal/resume work
     exactly as in :func:`~repro.campaign.scheduler.run_campaign`: jobs
     are regenerated deterministically, so only missing indices execute.
+    ``batch`` and ``stats`` also mirror :func:`run_campaign` — fuzz
+    groups never enter the lane engine (see
+    :func:`_fuzz_chunk_worker`), but the flag rides through for
+    signature parity and ``stats`` aggregates worker tier counters.
     """
+    from repro.campaign.runner import tier_stats_delta, tier_stats_snapshot
     from repro.campaign.scheduler import _Supervisor, _chunk_indices
 
     if journal_path is not None and resume_from is not None:
@@ -766,6 +782,7 @@ def run_fuzz_campaign(
     jobs: dict[int, dict] = {}
     interrupted = False
     stopped = False
+    stats_before = tier_stats_snapshot() if stats is not None else None
     try:
         for round_no, indices in enumerate(
             _round_slices(config.runs, config.fuzz_rounds)
@@ -782,8 +799,8 @@ def run_fuzz_campaign(
             if missing:
                 supervisor = _Supervisor(
                     config, records, progress=progress, journal=journal,
-                    fail_fast=fail_fast, snapshot=snapshot,
-                    worker=_fuzz_chunk_worker, jobs=round_jobs,
+                    fail_fast=fail_fast, snapshot=snapshot, batch=batch,
+                    worker=_fuzz_chunk_worker, jobs=round_jobs, stats=stats,
                 )
                 supervisor.run(_chunk_indices(missing, config))
                 stopped = stopped or supervisor.stop
@@ -810,6 +827,11 @@ def run_fuzz_campaign(
     complete = not interrupted and not stopped and len(ordered) == config.runs
     if complete and config.shrink:
         _fuzz_shrink_pass(config, ordered, snapshot)
+    if stats is not None:
+        # This process's own execution (serial chunks, the shrink
+        # pass); pool worker deltas were folded in by the supervisors.
+        for key, value in tier_stats_delta(stats_before).items():
+            stats[key] = stats.get(key, 0) + value
     report = build_report(config, ordered)
     report["coverage"] = _coverage_stanza(jobs, ordered, corpus)
     if not complete:

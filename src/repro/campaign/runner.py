@@ -58,6 +58,9 @@ _TIER_STATS = {
     "trace_exits": 0,
     "ff_spans": 0,
     "ff_spends": 0,
+    "lanes_packed": 0,
+    "lanes_peeled": 0,
+    "batch_spans": 0,
 }
 
 
@@ -75,9 +78,34 @@ def _harvest_tier_stats(target) -> None:
     stats["ff_spends"] += target.ff_spends
 
 
+def note_lane_stats(*, packed: int = 0, peeled: int = 0, spans: int = 0) -> None:
+    """Fold one batched group's lane accounting into the process tallies.
+
+    ``packed`` counts lanes that entered the lane engine, ``peeled`` the
+    subset peeled back into the scalar path mid-run, and ``spans`` the
+    lock-step boundary-to-boundary segments the batch survived.
+    """
+    _TIER_STATS["lanes_packed"] += packed
+    _TIER_STATS["lanes_peeled"] += peeled
+    _TIER_STATS["batch_spans"] += spans
+
+
 def tier_stats_snapshot() -> dict:
     """A copy of this process's execution-tier tallies."""
     return dict(_TIER_STATS)
+
+
+def tier_stats_delta(before: dict) -> dict:
+    """The tallies accumulated since ``before`` (a prior snapshot).
+
+    How chunk workers report their tier/lane accounting back to the
+    supervisor without ever touching the report JSON: the worker
+    snapshots on entry, executes, and returns the difference.
+    """
+    return {
+        key: value - before.get(key, 0)
+        for key, value in _TIER_STATS.items()
+    }
 
 
 def reset_tier_stats() -> None:

@@ -58,6 +58,8 @@ from repro.campaign.runner import (
     capture_divergence,
     execute_run_safe,
     run_continuous_leg,
+    tier_stats_delta,
+    tier_stats_snapshot,
     verdict_for_schedule,
 )
 from repro.campaign.shrinker import shrink_schedule
@@ -69,8 +71,9 @@ _MAX_BACKOFF_DOUBLINGS = 6
 
 
 def _chunk_worker(
-    config_dict: dict, indices: list[int], snapshot: bool = False
-) -> list[dict]:
+    config_dict: dict, indices: list[int], snapshot: bool = False,
+    batch: bool = True,
+) -> tuple[list[dict], dict]:
     """Worker entry point: execute a chunk of runs (picklable, module-level).
 
     Uses the *supervised* runner, so a failing run yields a structured
@@ -80,15 +83,25 @@ def _chunk_worker(
     ``snapshot`` routes the chunk through the prefix-fork engine
     (:func:`repro.campaign.forking.execute_chunk`), which shares work
     between runs whose fault plans allow it and produces byte-identical
-    records either way.  It is an execution-only parameter — never part
-    of the config dict, so reports and journals are unaffected by it.
+    records either way; ``batch`` additionally routes fork-eligible
+    groups through the NumPy lane engine (:mod:`repro.batch.engine`).
+    Both are execution-only parameters — never part of the config dict,
+    so reports and journals are unaffected by them.
+
+    Returns ``(records, tier_delta)``: the chunk's records plus the
+    tier/lane counter delta this execution accumulated, so a pool
+    supervisor can aggregate diagnostics across worker processes
+    without the counters ever entering the report.
     """
     config = CampaignConfig.from_dict(config_dict)
+    before = tier_stats_snapshot()
     if snapshot:
         from repro.campaign.forking import execute_chunk
 
-        return execute_chunk(config, indices)
-    return [execute_run_safe(config, index) for index in indices]
+        chunk_records = execute_chunk(config, indices, batch=batch)
+    else:
+        chunk_records = [execute_run_safe(config, index) for index in indices]
+    return chunk_records, tier_stats_delta(before)
 
 
 def _chunk_indices(indices: list[int], config: CampaignConfig) -> list[list[int]]:
@@ -147,8 +160,15 @@ class _Supervisor:
     journal: JournalWriter | None = None
     fail_fast: bool = False
     snapshot: bool = False
+    batch: bool = True
     worker: Callable = _chunk_worker
     jobs: dict[int, dict] | None = None
+    #: Optional sink for aggregated tier/lane counters.  Pool workers
+    #: return their counter deltas alongside their records; only those
+    #: *remote* deltas are folded in here — in-process execution already
+    #: lands in this process's own tallies, which the campaign entry
+    #: point folds separately (no double counting either way).
+    stats: dict | None = None
 
     stop: bool = field(default=False, init=False)
     degraded: bool = field(default=False, init=False)
@@ -165,7 +185,15 @@ class _Supervisor:
         return [self.jobs[index] for index in chunk.indices]
 
     # -- record plumbing ---------------------------------------------------
-    def _collect(self, chunk_records: list[dict]) -> None:
+    def _collect(self, result, remote: bool = False) -> None:
+        if isinstance(result, tuple):
+            chunk_records, delta = result
+            if remote and self.stats is not None:
+                for key, value in delta.items():
+                    self.stats[key] = self.stats.get(key, 0) + value
+        else:
+            # Synthesized records (worker_lost) carry no counter delta.
+            chunk_records = result
         for record in chunk_records:
             self.records[record["index"]] = record
         if self.journal is not None:
@@ -232,7 +260,7 @@ class _Supervisor:
             try:
                 future = self._pool.submit(
                     self.worker, self._config_dict, self._work_for(chunk),
-                    self.snapshot,
+                    self.snapshot, self.batch,
                 )
             except Exception:
                 fresh.appendleft(chunk)
@@ -252,7 +280,7 @@ class _Supervisor:
             for future in done:
                 chunk = in_flight.pop(future)
                 try:
-                    self._collect(future.result())
+                    self._collect(future.result(), remote=True)
                 except Exception:
                     # The worker executing *some* in-flight chunk died
                     # and broke the shared pool; this future cannot say
@@ -280,9 +308,9 @@ class _Supervisor:
         try:
             future = self._pool.submit(
                 self.worker, self._config_dict, self._work_for(chunk),
-                self.snapshot,
+                self.snapshot, self.batch,
             )
-            self._collect(future.result())
+            self._collect(future.result(), remote=True)
         except KeyboardInterrupt:
             suspects.appendleft(chunk)
             raise
@@ -326,7 +354,7 @@ class _Supervisor:
             chunk = fresh.popleft()
             self._collect(
                 self.worker(self._config_dict, self._work_for(chunk),
-                            self.snapshot)
+                            self.snapshot, self.batch)
             )
 
 
@@ -427,8 +455,10 @@ def run_campaign(
     resume_from: str | None = None,
     fail_fast: bool = False,
     snapshot: bool = True,
+    batch: bool = True,
     corpus_path: str | None = None,
     journal_fsync: bool = False,
+    stats: dict | None = None,
 ) -> dict:
     """Execute a full campaign under supervision and return the report.
 
@@ -455,6 +485,16 @@ def run_campaign(
     report are byte-identical with it on or off, which is why it is a
     keyword here rather than a :class:`CampaignConfig` field.
 
+    ``batch`` (default on) additionally routes fork-eligible groups
+    through the NumPy lane engine (:mod:`repro.batch`); it is gated the
+    same way (execution-only, byte-identical on/off/``REPRO_NO_BATCH``)
+    and is inert when NumPy is unavailable or ``snapshot`` is off.
+
+    ``stats`` (optional) is a plain dict the campaign folds its
+    aggregated tier/lane execution counters into — both this process's
+    tallies and the deltas pool workers report back with their chunks.
+    Diagnostics only: the counters never enter the report.
+
     A ``KeyboardInterrupt`` — or a fail-fast trip — yields a valid
     *partial* report carrying a top-level ``partial`` key; a campaign
     that completes normally is guaranteed to hold exactly one record
@@ -472,8 +512,8 @@ def run_campaign(
         return run_fuzz_campaign(
             config, progress, journal_path=journal_path,
             resume_from=resume_from, fail_fast=fail_fast,
-            snapshot=snapshot, corpus_path=corpus_path,
-            journal_fsync=journal_fsync,
+            snapshot=snapshot, batch=batch, corpus_path=corpus_path,
+            journal_fsync=journal_fsync, stats=stats,
         )
     if corpus_path is not None:
         raise ValueError("corpus_path requires mode='fuzz'")
@@ -494,8 +534,9 @@ def run_campaign(
     remaining = [i for i in range(config.runs) if i not in records]
     supervisor = _Supervisor(
         config, records, progress=progress, journal=journal,
-        fail_fast=fail_fast, snapshot=snapshot,
+        fail_fast=fail_fast, snapshot=snapshot, batch=batch, stats=stats,
     )
+    stats_before = tier_stats_snapshot() if stats is not None else None
     interrupted = False
     try:
         supervisor.run(_chunk_indices(remaining, config))
@@ -523,6 +564,13 @@ def run_campaign(
             _shrink_pass(config, ordered, snapshot=snapshot)
         if config.capture:
             _capture_pass(config, ordered)
+    if stats is not None:
+        # Everything this process executed itself — serial chunks,
+        # degraded-mode chunks, the shrink/capture post-passes — landed
+        # in the process tallies; pool workers' deltas were folded in
+        # by the supervisor as their chunks completed.
+        for key, value in tier_stats_delta(stats_before).items():
+            stats[key] = stats.get(key, 0) + value
     report = build_report(config, ordered)
     if not complete:
         report["partial"] = {

@@ -7,6 +7,7 @@ for the measurement protocol and the caching design they guard.
 from repro.perf.harness import (
     BenchResult,
     bench_campaign,
+    bench_campaign_opsweep,
     bench_charge_discharge,
     bench_isa_throughput,
     bench_snapshot_fork,
@@ -16,6 +17,7 @@ from repro.perf.harness import (
 __all__ = [
     "BenchResult",
     "bench_campaign",
+    "bench_campaign_opsweep",
     "bench_charge_discharge",
     "bench_isa_throughput",
     "bench_snapshot_fork",

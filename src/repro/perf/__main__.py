@@ -108,19 +108,32 @@ def _git_revision() -> str:
     return revision if out.returncode == 0 and revision else "unknown"
 
 
+def _numpy_version() -> str | None:
+    """The installed numpy version, or None when the import fails."""
+    try:
+        import numpy
+    except Exception:
+        return None
+    return numpy.__version__
+
+
 def _host_stanza() -> dict:
     """Provenance for BENCH_* trajectory comparisons across machines."""
+    from repro.batch import batching_enabled
+
     return {
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
         "git_revision": _git_revision(),
+        "numpy": _numpy_version(),
         "block_cache": os.environ.get("REPRO_NO_BLOCKCACHE", "") in ("", "0"),
         "superblock": (
             os.environ.get("REPRO_NO_BLOCKCACHE", "") in ("", "0")
             and os.environ.get("REPRO_NO_SUPERBLOCK", "") in ("", "0")
         ),
         "force_deopt": os.environ.get("REPRO_FORCE_DEOPT", "") not in ("", "0"),
+        "batch": batching_enabled(),
     }
 
 

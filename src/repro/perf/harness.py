@@ -19,6 +19,11 @@ the profile that motivated the PR-2 hot-path work:
   fault mode shares harvesting conditions, so the snapshot/fork engine
   gets real prefix groups to share (the best case the ``campaign``
   benchmark's randomized environments never produce);
+- ``campaign_opsweep`` — a fixed-environment op-index sweep where the
+  whole chunk forms one lane group for the NumPy batch engine: one
+  fault-free leader is shared, never-firing schedules become clones,
+  firing schedules peel to the scalar path (the speedup over
+  ``--no-batch`` lands in ``detail``);
 - ``fuzz_search`` — a coverage-guided fuzz campaign on the RFID
   dispatch firmware: coverage recording, corpus bookkeeping, mutators,
   and stimulus-grouped forking, end to end.
@@ -339,6 +344,69 @@ def bench_snapshot_fork(runs: int = 24) -> BenchResult:
     )
 
 
+def bench_campaign_opsweep(runs: int = 24) -> BenchResult:
+    """Lane-batched campaign throughput on an op-index sweep workload.
+
+    Every run shares the environment (fixed distance, no fading, no
+    duty) and sweeps injection points across a wide op-index range, so
+    the whole chunk lands in one lane group: schedules that fire inside
+    the executed window peel back into the scalar path, schedules that
+    sweep past it become clones of the shared fault-free leader.  Both
+    execution paths are timed on the identical config — reports are
+    byte-identical by contract — and the headline value is the batched
+    path's throughput; the scalar figure, the speedup, and the lane
+    accounting land in ``detail``.  A small untimed campaign pays the
+    one-time costs first (see :func:`bench_campaign`).
+    """
+    from repro.campaign.runner import tier_stats_delta, tier_stats_snapshot
+
+    config = CampaignConfig(
+        app="rfid_firmware",
+        runs=runs,
+        seed=2468,
+        workers=1,
+        iterations=600,
+        duration=1.0,
+        shrink=False,
+        capture=False,
+        modes=("op_index",),
+        min_ops=2000,
+        max_ops=60_000,
+        distance_range=(1.6, 1.6),
+        fading_range=(0.0, 0.0),
+        duty_chance=0.0,
+    )
+    run_campaign(CampaignConfig(**{**config.to_dict(), "runs": 2}))
+    t0 = time.perf_counter()
+    run_campaign(config, batch=False)
+    wall_off = time.perf_counter() - t0
+    before = tier_stats_snapshot()
+    t0 = time.perf_counter()
+    report = run_campaign(config, batch=True)
+    wall = time.perf_counter() - t0
+    lanes = tier_stats_delta(before)
+    return BenchResult(
+        name="campaign_opsweep",
+        value=runs / wall if wall > 0 else float("inf"),
+        unit="runs/s",
+        wall_s=wall,
+        detail={
+            "runs": runs,
+            "diverged": report["summary"]["diverged"],
+            "no_batch_runs_per_s": (
+                runs / wall_off if wall_off > 0 else float("inf")
+            ),
+            "speedup_vs_no_batch": (
+                wall_off / wall if wall > 0 else float("inf")
+            ),
+            "workers": config.workers,
+            "lanes_packed": lanes["lanes_packed"],
+            "lanes_peeled": lanes["lanes_peeled"],
+            "batch_spans": lanes["batch_spans"],
+        },
+    )
+
+
 def bench_fuzz_search(runs: int = 18) -> BenchResult:
     """Coverage-guided fuzz campaign throughput on the RFID firmware.
 
@@ -401,6 +469,13 @@ BENCHMARKS = {
     "campaign": lambda scale=1.0: bench_campaign(max(1, int(6 * scale))),
     "snapshot_fork": lambda scale=1.0: bench_snapshot_fork(
         max(2, int(24 * scale))
+    ),
+    # Not scaled below 24 runs: the lane engine amortises one leader
+    # leg across the whole group, so tiny run counts measure leader
+    # amortisation (noisily), not batched throughput — and the value
+    # must stay comparable with the committed full-size baseline.
+    "campaign_opsweep": lambda scale=1.0: bench_campaign_opsweep(
+        max(24, int(24 * scale))
     ),
     "fuzz_search": lambda scale=1.0: bench_fuzz_search(
         max(3, int(18 * scale))

@@ -1,0 +1,365 @@
+"""Lane engine (``repro.batch``): lane-vs-scalar bit-identity properties.
+
+The batch engine's contract is that it is *invisible* in the records: a
+campaign produces byte-identical reports with batching on, off, or
+killed via ``REPRO_NO_BATCH=1``.  The tests here pin that contract at
+every layer — the vectorized energy twin against the scalar closed
+form, the struct-of-arrays snapshot packing against ``DeviceSnapshot``
+round trips, and the leader/peel/clone engine against the scalar fork
+group on every divergence class the engine can meet (fault-schedule
+hits, organic mid-run brown-outs, commit-boundary writes, never-firing
+sweeps).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.batch import batching_enabled
+from repro.batch.engine import execute_batch_group
+from repro.batch.lanes import LaneBuffer
+from repro.campaign.apps import get_adapter
+from repro.campaign.config import CampaignConfig
+from repro.campaign.faults import plan_faults
+from repro.campaign.forking import _execute_group
+from repro.campaign.runner import tier_stats_delta, tier_stats_snapshot
+from repro.campaign.scheduler import run_campaign
+from repro.mcu.memory import FRAM_BASE, FRAM_SIZE
+from repro.power.capacitor import closed_form_step, closed_form_step_lanes
+from repro.runtime.checkpoint import fletcher16
+from repro.sim.kernel import Simulator
+from repro.sim.rng import derive_seed
+from repro.snapshot import DirtyTracker, capture, restore
+from repro.testing import make_fast_target
+
+
+# -- the vectorized energy twin --------------------------------------------
+def test_closed_form_step_lanes_bit_exact_vs_scalar():
+    """Every lane of the vectorized step equals the scalar step exactly.
+
+    Bit-for-bit (``==`` on floats), not approximately: the engine's
+    byte-identity contract rides on the capacitor trajectories being
+    indistinguishable from the scalar path.
+    """
+    import math
+
+    rng = random.Random(9001)
+    for leak in (None, 0.997):
+        for _ in range(200):
+            v = [rng.uniform(0.0, 3.3) for _ in range(17)]
+            dt = rng.uniform(1e-7, 5e-3)
+            voc = rng.uniform(0.0, 3.3)
+            rs = rng.uniform(100.0, 5000.0)
+            net = rng.uniform(-2e-3, 2e-3)
+            cap = rng.uniform(1e-6, 1e-4)
+            v_inf = voc - net * rs
+            exp_charge = math.exp(-dt / (rs * cap))
+            out = closed_form_step_lanes(
+                np.array(v), dt, voc, v_inf, exp_charge, net, cap, 3.3, leak
+            )
+            for lane, v0 in enumerate(v):
+                want = closed_form_step(
+                    v0, dt, voc, v_inf, exp_charge, net, cap, 3.3, leak
+                )
+                assert float(out[lane]) == want
+
+
+def test_closed_form_step_lanes_clamps_like_scalar():
+    """Clamp edges (floor 0, ceiling max_voltage) match the scalar form."""
+    import math
+
+    dt, voc, rs, cap = 1e-3, 3.3, 1000.0, 4.7e-6
+    exp_charge = math.exp(-dt / (rs * cap))
+    # A huge drain drives below zero; a huge charge drives above max.
+    for net, v in ((5.0, 0.5), (-5.0, 3.2)):
+        v_inf = voc - net * rs
+        out = closed_form_step_lanes(
+            np.array([v]), dt, voc, v_inf, exp_charge, net, cap, 3.3, None
+        )
+        want = closed_form_step(
+            v, dt, voc, v_inf, exp_charge, net, cap, 3.3, None
+        )
+        assert float(out[0]) == want
+
+
+# -- struct-of-arrays snapshot packing -------------------------------------
+def _snapshot_after(seed: int, cycles: int):
+    """A (target, tracker, snapshot) triple after some real execution."""
+    sim = Simulator(seed=seed)
+    sim.trace.enabled = False
+    target = make_fast_target(sim, distance_m=1.6, fading_sigma=0.0)
+    tracker = DirtyTracker(target.memory)
+    target.power.charge_until_on()
+    target.execute_cycles(cycles)
+    return target, tracker, capture(target, tracker)
+
+
+def test_lane_buffer_round_trip_is_bit_exact():
+    """pack -> unpack returns snapshots equal in every slot.
+
+    Registers, memory bytes, capacitor voltage, clock, and the Mersenne
+    RNG words all survive the NumPy round trip; ``restore`` then accepts
+    the unpacked snapshot, which re-verifies its integrity CRC.
+    """
+    snaps = [_snapshot_after(seed, 600)[2] for seed in (1, 2, 3)]
+    buffer = LaneBuffer.from_snapshots(snaps)
+    for lane, original in enumerate(snaps):
+        back = buffer.unpack(lane)
+        assert back.cpu_registers == original.cpu_registers
+        assert back.memory_pages == original.memory_pages
+        assert back.cap_voltage == original.cap_voltage
+        assert back.sim_now == original.sim_now
+        assert back.rng_states == original.rng_states
+        assert back.integrity == original.integrity
+    # The unpacked snapshot restores onto a live device (CRC gate).
+    target, tracker, snap = _snapshot_after(7, 600)
+    clone = LaneBuffer.from_snapshots([snap]).unpack(0)
+    target.execute_cycles(128)  # diverge, then roll back
+    restore(target, clone, tracker)
+    assert capture(target, tracker).cpu_registers == snap.cpu_registers
+
+
+def test_lane_buffer_broadcast_shares_one_snapshot():
+    """broadcast(snap, n) unpacks n bit-identical copies of one prefix."""
+    _, _, snap = _snapshot_after(5, 400)
+    buffer = snap.broadcast(4)
+    for lane in range(4):
+        back = buffer.unpack(lane)
+        assert back.memory_pages == snap.memory_pages
+        assert back.cpu_registers == snap.cpu_registers
+        assert back.rng_states == snap.rng_states
+
+
+def test_lane_buffer_rejects_mismatched_topology():
+    _, _, a = _snapshot_after(1, 300)
+    b = dataclasses.replace  # not a dataclass; mutate a copy instead
+    b = LaneBuffer.from_snapshots([a]).unpack(0)
+    b.cpu_registers = a.cpu_registers[:-1]
+    with pytest.raises(ValueError):
+        LaneBuffer.from_snapshots([a, b])
+
+
+# -- the leader/peel/clone engine vs the scalar fork group -----------------
+@pytest.fixture
+def batch_on(monkeypatch):
+    """Force the lane engine live even under an ambient REPRO_NO_BATCH.
+
+    The differential tests compare the engine *against* the scalar
+    path, so running them with batching killed would compare the scalar
+    path to itself; CI's ``REPRO_NO_BATCH=1`` tier-1 pass still
+    exercises this file's scalar-only tests.
+    """
+    monkeypatch.delenv("REPRO_NO_BATCH", raising=False)
+
+
+class ChecksumAdapter:
+    """rfid_firmware with FRAM checksums folded into every observation.
+
+    Wrapping the observation makes the differential tests sensitive to
+    *any* end-state memory divergence between the lane engine and the
+    scalar path, not just the handful of words the stock adapter reads.
+    """
+
+    name = "rfid_firmware"
+    invariant_keys = ("drift_ok",)
+    requires_stimulus = True
+
+    def __init__(self):
+        self._inner = get_adapter("rfid_firmware")
+
+    def build(self, protect, iterations):
+        return self._inner.build(protect, iterations)
+
+    def state_ranges(self, program, api):
+        return self._inner.state_ranges(program, api)
+
+    def observe(self, program, api):
+        out = self._inner.observe(program, api)
+        device = api.device
+        out["fram_fletcher16"] = fletcher16(
+            device.memory.read_bytes(FRAM_BASE, FRAM_SIZE)
+        )
+        out["reboot_count"] = device.reboot_count
+        # Fork-eligible legs consume zero randomness (the honesty
+        # invariant); assert it here so a draw sneaking into either
+        # path shows up as a record difference, not silent luck.
+        out["rng_untouched"] = device.sim.rng.untouched
+        return out
+
+
+def _members(config: CampaignConfig, count: int, duty=None):
+    """The first ``count`` member tuples exactly as execute_chunk builds them."""
+    members = []
+    for index in range(count):
+        run_seed = derive_seed(config.seed, "run", index)
+        plan = plan_faults(
+            config, random.Random(derive_seed(run_seed, "plan"))
+        )
+        if duty is not None:
+            plan = dataclasses.replace(plan, duty=duty)
+        members.append((index, run_seed, plan))
+    return members
+
+
+def _records_json(records: dict) -> str:
+    return json.dumps(
+        {str(k): records[k] for k in sorted(records)}, sort_keys=True
+    )
+
+
+def _differential(config: CampaignConfig, duty=None, count=6):
+    """Assert batch == scalar for one group; return the lane counters."""
+    adapter = ChecksumAdapter()
+    members = _members(config, count, duty=duty)
+    before = tier_stats_snapshot()
+    batched = execute_batch_group(config, adapter, members)
+    lanes = tier_stats_delta(before)
+    assert batched is not None, "engine fell back unexpectedly"
+    scalar = _execute_group(config, adapter, members)
+    assert _records_json(batched) == _records_json(scalar)
+    return lanes
+
+
+def _opsweep_config(**overrides) -> CampaignConfig:
+    base = dict(
+        app="rfid_firmware", runs=8, seed=777, workers=1,
+        duration=0.4, modes=("op_index",),
+        distance_range=(2.0, 2.0), fading_range=(0.0, 0.0),
+        duty_chance=0.0,
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def test_differential_fault_schedule_peel(batch_on):
+    """Schedules that fire mid-run peel; records still match bit-for-bit.
+
+    Low op indices guarantee every lane's injection lands inside the
+    executed window — the pure-peel regime, where the engine's replay
+    must reproduce the scalar leg exactly (checksums, reboot
+    boundaries, observations).
+    """
+    lanes = _differential(_opsweep_config(min_ops=5, max_ops=400))
+    assert lanes["lanes_packed"] == 6
+    assert lanes["lanes_peeled"] > 0
+
+
+def test_differential_never_firing_sweep_clones(batch_on):
+    """Schedules sweeping past the executed window clone the leader."""
+    lanes = _differential(
+        _opsweep_config(min_ops=20_000, max_ops=90_000)
+    )
+    assert lanes["lanes_packed"] == 6
+    assert lanes["lanes_peeled"] == 0  # pure clones
+
+
+def test_differential_organic_brownout_spans(batch_on):
+    """Mid-block organic brown-outs pause the leader at lane boundaries.
+
+    A heavy workload at a marginal distance drains the capacitor
+    mid-run, so the leader crosses several charge/discharge boundaries;
+    peels must replay from the correct boundary snapshot (mid-block
+    brown-out class) and clones must still match the scalar leg.
+    """
+    lanes = _differential(
+        _opsweep_config(
+            duration=1.0, iterations=600,
+            distance_range=(6.8, 6.8),
+            min_ops=200, max_ops=20_000,
+        )
+    )
+    assert lanes["batch_spans"] > 0
+
+
+def test_differential_duty_cycle_group(batch_on):
+    """Lanes sharing a duty-cycled environment stay bit-identical."""
+    _differential(
+        _opsweep_config(min_ops=50, max_ops=2_000), duty=(0.008, 0.6)
+    )
+
+
+def test_differential_commit_boundary_writes(batch_on):
+    """commit_boundary mode: the write counter drives peel decisions."""
+    lanes = _differential(
+        _opsweep_config(modes=("commit_boundary",), min_ops=5, max_ops=400)
+    )
+    assert lanes["lanes_packed"] == 6
+
+
+def test_differential_self_modifying_shared_block(batch_on):
+    """The ISA firmware writes FRAM the translated blocks read.
+
+    rfid_firmware's counters live in FRAM inside the translated
+    region, so a peeled lane's replay re-executes writes that the
+    leader also performed — the restore path must roll the shared
+    memory image back exactly (the checksummed observation proves it).
+    """
+    lanes = _differential(
+        _opsweep_config(
+            modes=("commit_boundary",), iterations=200,
+            min_ops=2, max_ops=40,
+        )
+    )
+    assert lanes["lanes_peeled"] > 0
+
+
+# -- campaign-level byte identity ------------------------------------------
+@pytest.mark.batch_smoke
+def test_campaign_report_identical_batch_on_off_killed(monkeypatch):
+    """One campaign, three execution modes, one set of report bytes."""
+    config = CampaignConfig(
+        app="rfid_firmware", runs=8, seed=2468, workers=1,
+        duration=0.4, modes=("op_index", "commit_boundary"),
+        distance_range=(1.8, 1.8), fading_range=(0.0, 0.0),
+        duty_chance=0.0, shrink=False,
+    )
+    stats = {}
+    monkeypatch.delenv("REPRO_NO_BATCH", raising=False)
+    on = json.dumps(
+        run_campaign(config, batch=True, stats=stats), sort_keys=True
+    )
+    off = json.dumps(run_campaign(config, batch=False), sort_keys=True)
+    monkeypatch.setenv("REPRO_NO_BATCH", "1")
+    killed_stats = {}
+    killed = json.dumps(
+        run_campaign(config, batch=True, stats=killed_stats), sort_keys=True
+    )
+    assert on == off == killed
+    assert stats["lanes_packed"] > 0, "batch path never engaged"
+    assert killed_stats["lanes_packed"] == 0, "kill switch ignored"
+
+
+def test_batching_disabled_by_env(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_BATCH", raising=False)
+    assert batching_enabled()
+    monkeypatch.setenv("REPRO_NO_BATCH", "1")
+    assert not batching_enabled()
+    monkeypatch.setenv("REPRO_NO_BATCH", "0")
+    assert batching_enabled()
+
+
+def test_parallel_campaign_aggregates_worker_stats(batch_on):
+    """Pool workers' tier/lane tallies reach the stats sink.
+
+    Until the chunk workers reported deltas, the CLI's tier summary was
+    silently empty under ``--workers > 1``; this pins the aggregation
+    path end to end (and that the counters stay out of the report).
+    """
+    config = CampaignConfig(
+        app="rfid_firmware", runs=8, seed=99, workers=2, chunk=4,
+        duration=0.4, modes=("op_index",),
+        distance_range=(1.8, 1.8), fading_range=(0.0, 0.0),
+        duty_chance=0.0, shrink=False,
+    )
+    stats = {}
+    report = run_campaign(config, stats=stats)
+    assert stats["blocks_executed"] > 0
+    assert stats["lanes_packed"] > 0
+    assert "stats" not in report
+    assert "tier" not in json.dumps(report)

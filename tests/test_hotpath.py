@@ -265,7 +265,7 @@ def test_perf_harness_smoke():
     results = run_all(scale=0.02)
     assert set(results) == {
         "isa_throughput", "superblock_hot_loop", "charge_discharge",
-        "campaign", "snapshot_fork", "fuzz_search",
+        "campaign", "snapshot_fork", "campaign_opsweep", "fuzz_search",
     }
     for result in results.values():
         payload = result.to_dict()
